@@ -1,0 +1,58 @@
+/// \file bench_a1_sampling.cpp
+/// A1 (ablation) — CoreFast's sampling constant γ. The paper only asks for
+/// a "sufficiently large constant": small γ under-samples (mis-detecting
+/// congested edges, hurting the good-part fraction and congestion bound),
+/// large γ inflates the O(D log n) streaming phase. This sweep quantifies
+/// the trade-off and backs the default γ = 4.
+#include "bench_util.h"
+#include "shortcut/core_fast.h"
+#include "shortcut/existential.h"
+#include "shortcut/shortcut.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Rig;
+
+void run(benchmark::State& state, double gamma) {
+  for (auto _ : state) {
+    const NodeId side = 48;
+    const Graph g = make_grid(side, side);
+    const auto p = make_random_bfs_partition(g, 2 * side, 19);
+    Rig rig(g);
+    const auto exist = best_existential_for_block(g, rig.tree, p, 4);
+    const std::int32_t c = std::max(1, exist.congestion);
+
+    const std::int64_t before = rig.net.total_rounds();
+    const CoreResult result = core_fast(rig.net, rig.tree, p.part_of,
+                                        CoreFastParams{c, gamma, 23});
+    const std::int64_t rounds = rig.net.total_rounds() - before;
+
+    std::int32_t good = 0;
+    for (PartId j = 0; j < p.num_parts; ++j)
+      if (block_component_count(g, p, result.shortcut, j) <= 3 * exist.block)
+        ++good;
+
+    state.counters["gamma"] = gamma;
+    state.counters["c"] = c;
+    state.counters["rounds"] = static_cast<double>(rounds);
+    state.counters["congestion"] = congestion(g, p, result.shortcut);
+    state.counters["cong_over_8c"] =
+        static_cast<double>(congestion(g, p, result.shortcut)) / (8.0 * c);
+    state.counters["good_pct"] = 100.0 * good / p.num_parts;
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const double gamma : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    benchmark::RegisterBenchmark(
+        ("A1/gamma=" + std::to_string(gamma)).c_str(),
+        [gamma](benchmark::State& s) { run(s, gamma); })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

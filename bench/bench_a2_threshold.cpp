@@ -1,0 +1,57 @@
+/// \file bench_a2_threshold.cpp
+/// A2 (ablation) — CoreSlow's unusable threshold. The paper fixes it at 2c
+/// (giving the N/2 good-part guarantee with congestion 2c). Sweeping the
+/// multiplier m (threshold = m·c) shows the trade: lower m = less
+/// congestion but fewer good parts per iteration; higher m = more
+/// congestion per iteration but faster convergence.
+#include "bench_util.h"
+#include "shortcut/core_slow.h"
+#include "shortcut/existential.h"
+#include "shortcut/shortcut.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Rig;
+
+void run(benchmark::State& state, double multiplier) {
+  for (auto _ : state) {
+    const NodeId side = 48;
+    const Graph g = make_grid(side, side);
+    const auto p = make_random_bfs_partition(g, 2 * side, 29);
+    Rig rig(g);
+    const auto exist = best_existential_for_block(g, rig.tree, p, 4);
+    const std::int32_t c = std::max(1, exist.congestion);
+    const auto threshold = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(multiplier * c));
+
+    const std::int64_t before = rig.net.total_rounds();
+    const CoreResult result =
+        core_slow_threshold(rig.net, rig.tree, p.part_of, threshold);
+    const std::int64_t rounds = rig.net.total_rounds() - before;
+
+    std::int32_t good = 0;
+    for (PartId j = 0; j < p.num_parts; ++j)
+      if (block_component_count(g, p, result.shortcut, j) <= 3 * exist.block)
+        ++good;
+
+    state.counters["multiplier"] = multiplier;
+    state.counters["threshold"] = threshold;
+    state.counters["rounds"] = static_cast<double>(rounds);
+    state.counters["congestion"] = congestion(g, p, result.shortcut);
+    state.counters["good_pct"] = 100.0 * good / p.num_parts;
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const double m : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 8.0}) {
+    benchmark::RegisterBenchmark(("A2/mult=" + std::to_string(m)).c_str(),
+                                 [m](benchmark::State& s) { run(s, m); })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

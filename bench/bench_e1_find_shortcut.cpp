@@ -1,0 +1,86 @@
+/// \file bench_e1_find_shortcut.cpp
+/// E1 — Theorem 3: FindShortcut constructs, on any topology, a shortcut
+/// whose congestion is within O(log N) of the existential optimum and whose
+/// block parameter is <= 3b, in Õ(D + b(D + c)) rounds.
+///
+/// Sweep: family x side. Reported counters per run:
+///   rounds       — total CONGEST rounds of the construction
+///   congestion   — Definition-1 congestion of the result
+///   exist_c      — centralized existential congestion at block budget 4b̂
+///   c_ratio      — congestion / exist_c  (Theorem 3 predicts O(log N))
+///   block        — block parameter of the result (<= 3 b̂)
+///   iters/trials — verification iterations and doubling trials
+#include <cmath>
+
+#include "bench_util.h"
+#include "shortcut/existential.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/shortcut.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Instance;
+using lcs::bench::Rig;
+
+void run(benchmark::State& state, const Instance& instance) {
+  for (auto _ : state) {
+    Rig rig(instance.graph);
+    const FindShortcutResult found =
+        find_shortcut_doubling(rig.net, rig.tree, instance.partition, {});
+
+    const std::int32_t got_c =
+        congestion(instance.graph, instance.partition, found.state.shortcut);
+    const std::int32_t got_b = block_parameter(
+        instance.graph, instance.partition, found.state.shortcut);
+    const auto exist = best_existential_for_block(
+        instance.graph, rig.tree, instance.partition,
+        std::max(1, 4 * found.stats.used_b));
+
+    state.counters["n"] = instance.graph.num_nodes();
+    state.counters["D"] = rig.tree.height;
+    state.counters["parts"] = instance.partition.num_parts;
+    state.counters["rounds"] = static_cast<double>(found.stats.rounds);
+    state.counters["congestion"] = got_c;
+    state.counters["exist_c"] = exist.congestion;
+    state.counters["c_ratio"] =
+        static_cast<double>(got_c) / std::max(1, exist.congestion);
+    state.counters["block"] = got_b;
+    state.counters["iters"] = found.stats.iterations;
+    state.counters["trials"] = found.stats.trials;
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const lcs::NodeId side : {16, 32, 64, 96}) {
+    benchmark::RegisterBenchmark(
+        ("E1/grid/" + std::to_string(side * side)).c_str(),
+        [side](benchmark::State& s) {
+          run(s, lcs::bench::grid_instance(side, 7));
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E1/torus/" + std::to_string(side * side)).c_str(),
+        [side](benchmark::State& s) {
+          run(s, lcs::bench::torus_instance(side, 7));
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E1/genus8/" + std::to_string(side * side)).c_str(),
+        [side](benchmark::State& s) {
+          run(s, lcs::bench::genus_instance(side, 8, 7));
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E1/erdos-renyi/" + std::to_string(side * side)).c_str(),
+        [side](benchmark::State& s) {
+          run(s, lcs::bench::er_instance(side * side, 7));
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

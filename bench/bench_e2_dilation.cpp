@@ -1,0 +1,73 @@
+/// \file bench_e2_dilation.cpp
+/// E2 — Lemma 1: a block parameter of b implies dilation <= b(2D + 1).
+/// Measures the *actual* dilation of constructed shortcuts against that
+/// bound across families and partition shapes; `slack` = bound / measured
+/// shows how loose the lemma is in practice.
+#include "bench_util.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/shortcut.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Instance;
+using lcs::bench::Rig;
+
+void run(benchmark::State& state, const Instance& instance, NodeId root = 0) {
+  for (auto _ : state) {
+    Rig rig(instance.graph, root);
+    const FindShortcutResult found =
+        find_shortcut_doubling(rig.net, rig.tree, instance.partition, {});
+    const std::int32_t b = block_parameter(
+        instance.graph, instance.partition, found.state.shortcut);
+    const std::int32_t d = dilation_estimate(
+        instance.graph, instance.partition, found.state.shortcut);
+    const std::int64_t bound = lemma1_dilation_bound(rig.tree, b);
+
+    state.counters["n"] = instance.graph.num_nodes();
+    state.counters["D"] = rig.tree.height;
+    state.counters["block"] = b;
+    state.counters["dilation"] = d;
+    state.counters["lemma1_bound"] = static_cast<double>(bound);
+    state.counters["slack"] = static_cast<double>(bound) / std::max(1, d);
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const lcs::NodeId side : {24, 48}) {
+    benchmark::RegisterBenchmark(
+        ("E2/grid-blobs/" + std::to_string(side * side)).c_str(),
+        [side](benchmark::State& s) {
+          run(s, lcs::bench::grid_instance(side, 3));
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E2/grid-rows/" + std::to_string(side * side)).c_str(),
+        [side](benchmark::State& s) {
+          lcs::bench::Instance inst{
+              lcs::make_grid(side, side),
+              lcs::make_grid_rows_partition(side, side, 2), "grid-rows"};
+          run(s, inst);
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("E2/wheel-arcs/1025",
+                               [](benchmark::State& s) {
+                                 run(s, lcs::bench::wheel_instance(1025, 16),
+                                     1024);
+                               })
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("E2/lower-bound/16",
+                               [](benchmark::State& s) {
+                                 auto inst = lcs::bench::lower_bound_instance(16);
+                                 const lcs::NodeId root =
+                                     inst.graph.num_nodes() - 1;
+                                 run(s, inst, root);
+                               })
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

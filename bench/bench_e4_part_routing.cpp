@@ -1,0 +1,79 @@
+/// \file bench_e4_part_routing.cpp
+/// E4 — Theorem 2: leader election / convergecast / broadcast for all parts
+/// in parallel in O(b(D + c)) rounds on a computed shortcut. Reports each
+/// primitive's rounds and its ratio to b(D + c).
+#include "bench_util.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/part_routing.h"
+#include "shortcut/shortcut.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Instance;
+using lcs::bench::Rig;
+
+void run(benchmark::State& state, const Instance& instance, NodeId root = 0) {
+  for (auto _ : state) {
+    Rig rig(instance.graph, root);
+    const FindShortcutResult found =
+        find_shortcut_doubling(rig.net, rig.tree, instance.partition, {});
+    const NeighborParts nb = exchange_neighbor_parts(rig.net, instance.partition);
+    const std::int32_t b = std::max(
+        1, block_parameter(instance.graph, instance.partition,
+                           found.state.shortcut));
+    const std::int32_t c = std::max(
+        1, congestion(instance.graph, instance.partition,
+                      found.state.shortcut));
+    const std::int32_t b_steps = 3 * found.stats.used_b;
+
+    const std::int64_t t0 = rig.net.total_rounds();
+    elect_part_leaders(rig.net, rig.tree, instance.partition, found.state, nb,
+                       b_steps);
+    const std::int64_t t1 = rig.net.total_rounds();
+    congest::PerNode<std::uint64_t> vals(
+        static_cast<std::size_t>(instance.graph.num_nodes()), 5);
+    part_min_flood(rig.net, rig.tree, instance.partition, found.state, nb,
+                   b_steps, vals);
+    const std::int64_t t2 = rig.net.total_rounds();
+
+    const double budget = static_cast<double>(b) * (rig.tree.height + c);
+    state.counters["n"] = instance.graph.num_nodes();
+    state.counters["D"] = rig.tree.height;
+    state.counters["b"] = b;
+    state.counters["c"] = c;
+    state.counters["leader_rounds"] = static_cast<double>(t1 - t0);
+    state.counters["conv_rounds"] = static_cast<double>(t2 - t1);
+    state.counters["leader_over_bDc"] = static_cast<double>(t1 - t0) / budget;
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const lcs::NodeId side : {24, 48, 72}) {
+    benchmark::RegisterBenchmark(
+        ("E4/grid-blobs/" + std::to_string(side * side)).c_str(),
+        [side](benchmark::State& s) {
+          run(s, lcs::bench::grid_instance(side, 9));
+        })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("E4/wheel-arcs/2049",
+                               [](benchmark::State& s) {
+                                 run(s, lcs::bench::wheel_instance(2049, 32),
+                                     2048);
+                               })
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "E4/grid-rows/2304", [](benchmark::State& s) {
+        lcs::bench::Instance inst{lcs::make_grid(48, 48),
+                                  lcs::make_grid_rows_partition(48, 48, 3),
+                                  "grid-rows"};
+        run(s, inst);
+      })
+      ->Iterations(1)->Unit(benchmark::kMillisecond);
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

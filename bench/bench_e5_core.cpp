@@ -1,0 +1,70 @@
+/// \file bench_e5_core.cpp
+/// E5 — Lemmas 5 and 7: the two core subroutines side by side.
+///   CoreSlow: congestion <= 2c, rounds O(D·c), deterministic.
+///   CoreFast: congestion <= 8c w.h.p., rounds O(D log n + c).
+/// Both must leave at least half the parts with <= 3b blocks at the
+/// existential (c, b). The crossover in rounds as c grows is the point of
+/// CoreFast.
+#include "bench_util.h"
+#include "shortcut/core_fast.h"
+#include "shortcut/core_slow.h"
+#include "shortcut/existential.h"
+#include "shortcut/shortcut.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Rig;
+
+std::int32_t good_fraction_pct(const Graph& g, const SpanningTree& tree,
+                               const Partition& p, const Shortcut& s,
+                               std::int32_t b) {
+  std::int32_t good = 0;
+  for (PartId j = 0; j < p.num_parts; ++j)
+    if (block_component_count(g, p, s, j) <= 3 * b) ++good;
+  (void)tree;
+  return 100 * good / std::max<PartId>(1, p.num_parts);
+}
+
+void run(benchmark::State& state, NodeId side, std::int32_t c, bool fast) {
+  for (auto _ : state) {
+    const Graph g = make_grid(side, side);
+    const auto p = make_random_bfs_partition(g, 2 * side, 11);
+    Rig rig(g);
+    const auto exist = best_existential_for_block(g, rig.tree, p, 4);
+
+    const std::int64_t before = rig.net.total_rounds();
+    const CoreResult result =
+        fast ? core_fast(rig.net, rig.tree, p.part_of,
+                         CoreFastParams{c, 4.0, 21})
+             : core_slow(rig.net, rig.tree, p.part_of, c);
+    const std::int64_t rounds = rig.net.total_rounds() - before;
+
+    state.counters["n"] = g.num_nodes();
+    state.counters["D"] = rig.tree.height;
+    state.counters["c"] = c;
+    state.counters["exist_c(b<=4)"] = exist.congestion;
+    state.counters["rounds"] = static_cast<double>(rounds);
+    state.counters["congestion"] = congestion(g, p, result.shortcut);
+    state.counters["good_pct"] =
+        good_fraction_pct(g, rig.tree, p, result.shortcut, exist.block);
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const std::int32_t c : {1, 4, 16, 64}) {
+    benchmark::RegisterBenchmark(
+        ("E5/core-slow/c=" + std::to_string(c)).c_str(),
+        [c](benchmark::State& s) { run(s, 48, c, false); })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E5/core-fast/c=" + std::to_string(c)).c_str(),
+        [c](benchmark::State& s) { run(s, 48, c, true); })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

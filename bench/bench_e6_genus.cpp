@@ -1,0 +1,51 @@
+/// \file bench_e6_genus.cpp
+/// E6 — Theorem 1 + Corollary 1: genus-g graphs admit (O(gD log D),
+/// O(log D)) tree-restricted shortcuts, and the construction finds one in
+/// O(gD log²D log N) rounds. Sweeps g at fixed n: existential congestion,
+/// constructed congestion, and construction rounds should grow gently
+/// (at most ~linearly) with g while the block parameter stays small.
+#include "bench_util.h"
+#include "shortcut/existential.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/shortcut.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Rig;
+
+void run(benchmark::State& state, int genus) {
+  for (auto _ : state) {
+    const NodeId side = 40;
+    const auto instance = lcs::bench::genus_instance(side, genus, 13);
+    Rig rig(instance.graph);
+    const auto exist = best_existential_for_block(
+        instance.graph, rig.tree, instance.partition, 4);
+    const FindShortcutResult found =
+        find_shortcut_doubling(rig.net, rig.tree, instance.partition, {});
+
+    state.counters["n"] = instance.graph.num_nodes();
+    state.counters["D"] = rig.tree.height;
+    state.counters["genus"] = genus;
+    state.counters["exist_c(b<=4)"] = exist.congestion;
+    state.counters["congestion"] =
+        congestion(instance.graph, instance.partition, found.state.shortcut);
+    state.counters["block"] = block_parameter(
+        instance.graph, instance.partition, found.state.shortcut);
+    state.counters["rounds"] = static_cast<double>(found.stats.rounds);
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const int genus : {0, 1, 2, 4, 8, 16, 32}) {
+    benchmark::RegisterBenchmark(
+        ("E6/genus-" + std::to_string(genus)).c_str(),
+        [genus](benchmark::State& s) { run(s, genus); })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

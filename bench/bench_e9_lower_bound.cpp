@@ -1,0 +1,76 @@
+/// \file bench_e9_lower_bound.cpp
+/// E9 — the Ω̃(√n + D) story (Section 1.1): on the Peleg–Rubinovich graph,
+/// even the *best* shortcut needs congestion ~√n, so shortcut-based MST
+/// degrades to ~√n rounds despite D = O(log n); on a grid of the same size
+/// the machinery delivers ~D-round behaviour. The telltale counter is
+/// rounds/D: exploding on the hard family, stable on the planar one.
+#include <cmath>
+
+#include "bench_util.h"
+#include "graph/reference.h"
+#include "mst/boruvka_shortcut.h"
+#include "shortcut/existential.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace lcs;
+using lcs::bench::Rig;
+
+void run_hard(benchmark::State& state, NodeId k) {
+  for (auto _ : state) {
+    const Graph g =
+        with_random_weights(make_lower_bound_graph(k, k), 1, 1000000, 3);
+    const auto p = make_lower_bound_partition(k, k, g.num_nodes());
+    Rig rig(g, g.num_nodes() - 1);
+    const auto exist = best_existential_for_block(g, rig.tree, p, 4);
+
+    const DistributedMst mst = mst_boruvka_shortcut(rig.net, rig.tree);
+    LCS_CHECK(mst.total_weight == kruskal_mst(g).total_weight, "MST bug");
+
+    state.counters["n"] = g.num_nodes();
+    state.counters["D"] = rig.tree.height;
+    state.counters["sqrt_n"] = std::sqrt(static_cast<double>(g.num_nodes()));
+    state.counters["exist_c(paths)"] = exist.congestion;
+    state.counters["mst_rounds"] = static_cast<double>(mst.rounds);
+    state.counters["rounds_over_D"] =
+        static_cast<double>(mst.rounds) / std::max(1, rig.tree.height);
+  }
+}
+
+void run_grid(benchmark::State& state, NodeId side) {
+  for (auto _ : state) {
+    const Graph g =
+        with_random_weights(make_grid(side, side), 1, 1000000, 3);
+    Rig rig(g);
+    const DistributedMst mst = mst_boruvka_shortcut(rig.net, rig.tree);
+    LCS_CHECK(mst.total_weight == kruskal_mst(g).total_weight, "MST bug");
+
+    state.counters["n"] = g.num_nodes();
+    state.counters["D"] = rig.tree.height;
+    state.counters["sqrt_n"] = side * 1.0;
+    state.counters["mst_rounds"] = static_cast<double>(mst.rounds);
+    state.counters["rounds_over_D"] =
+        static_cast<double>(mst.rounds) / std::max(1, rig.tree.height);
+  }
+}
+
+}  // namespace
+
+int register_all = [] {
+  for (const lcs::NodeId k : {8, 12, 16, 24}) {
+    benchmark::RegisterBenchmark(
+        ("E9/lower-bound/k=" + std::to_string(k)).c_str(),
+        [k](benchmark::State& s) { run_hard(s, k); })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  for (const lcs::NodeId side : {12, 16, 24, 32}) {
+    benchmark::RegisterBenchmark(
+        ("E9/grid/side=" + std::to_string(side)).c_str(),
+        [side](benchmark::State& s) { run_grid(s, side); })
+        ->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+LCS_BENCH_MAIN()

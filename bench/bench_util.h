@@ -1,0 +1,86 @@
+/// \file bench_util.h
+/// Shared scaffolding for the experiment benches (see DESIGN.md §4 and
+/// EXPERIMENTS.md): graph/partition families keyed by name, and the
+/// standard simulator setup. Every bench runs each configuration once
+/// (Iterations(1)) — the measured quantities are *round counts and shortcut
+/// quality*, which are deterministic given the seed, not wall time.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/partition.h"
+#include "tree/bfs_tree.h"
+
+namespace lcs::bench {
+
+/// A graph family at a target scale, with a natural benign partition.
+struct Instance {
+  Graph graph;
+  Partition partition;
+  std::string name;
+};
+
+/// side*side nodes; partitions are random connected BFS blobs of ~side
+/// nodes each (so #parts ~ side ~ sqrt(n)).
+inline Instance grid_instance(NodeId side, std::uint64_t seed) {
+  Graph g = make_grid(side, side);
+  Partition p = make_random_bfs_partition(g, side, seed);
+  return {std::move(g), std::move(p), "grid"};
+}
+
+inline Instance torus_instance(NodeId side, std::uint64_t seed) {
+  Graph g = make_torus(side, side);
+  Partition p = make_random_bfs_partition(g, side, seed);
+  return {std::move(g), std::move(p), "torus"};
+}
+
+inline Instance genus_instance(NodeId side, int genus, std::uint64_t seed) {
+  Graph g = make_genus_grid(side, side, genus, seed);
+  Partition p = make_random_bfs_partition(g, side, seed + 1);
+  return {std::move(g), std::move(p), "genus" + std::to_string(genus)};
+}
+
+inline Instance er_instance(NodeId n, std::uint64_t seed) {
+  Graph g = make_erdos_renyi(n, 6.0 / static_cast<double>(n), seed);
+  Partition p = make_random_bfs_partition(
+      g, std::max<PartId>(2, static_cast<PartId>(std::sqrt(n))), seed + 1);
+  return {std::move(g), std::move(p), "erdos-renyi"};
+}
+
+inline Instance wheel_instance(NodeId n, PartId arcs) {
+  Graph g = make_wheel(n);
+  Partition p = make_cycle_arcs_partition(n, arcs);
+  return {std::move(g), std::move(p), "wheel-arcs"};
+}
+
+inline Instance lower_bound_instance(NodeId k) {
+  Graph g = make_lower_bound_graph(k, k);
+  Partition p = make_lower_bound_partition(k, k, g.num_nodes());
+  return {std::move(g), std::move(p), "lower-bound"};
+}
+
+/// Simulator + distributed BFS tree for an instance.
+struct Rig {
+  congest::Network net;
+  SpanningTree tree;
+  explicit Rig(const Graph& g, NodeId root = 0)
+      : net(g), tree(build_bfs_tree(net, root)) {}
+};
+
+}  // namespace lcs::bench
+
+/// Standard main for all bench binaries.
+#define LCS_BENCH_MAIN()                                  \
+  int main(int argc, char** argv) {                       \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }

@@ -1,0 +1,68 @@
+/// \file lower_bound_demo.cpp
+/// Why Ω̃(√n + D) exists, and how structure escapes it (Sections 1.1–1.2).
+///
+/// The Peleg–Rubinovich-style graph (k paths crossed by a shallow binary
+/// tree) admits no good shortcut: with the paths as parts, any T-restricted
+/// shortcut pays either congestion ~k on the tree or ~k blocks along the
+/// paths. A grid with the same number of nodes and a benign partition has
+/// excellent shortcuts. This demo measures both with the *same* generic
+/// FindShortcut machinery — the construction adapts to whatever the
+/// topology allows (Appendix A).
+#include <cmath>
+#include <iostream>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/partition.h"
+#include "shortcut/existential.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/shortcut.h"
+#include "tree/bfs_tree.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lcs;
+  const NodeId k = 16;  // paths / path length; n ~ k^2
+
+  Table out({"graph", "n", "D", "parts", "existential c (b<=4)",
+             "built congestion", "built block", "construction rounds"});
+
+  auto report = [&](const std::string& name, const Graph& g,
+                    const Partition& p, NodeId root) {
+    congest::Network net(g);
+    const SpanningTree tree = build_bfs_tree(net, root);
+    const auto existential = best_existential_for_block(g, tree, p, 4);
+    const FindShortcutResult found =
+        find_shortcut_doubling(net, tree, p, {});
+    out.begin_row()
+        .cell(name)
+        .cell(static_cast<std::int64_t>(g.num_nodes()))
+        .cell(static_cast<std::int64_t>(diameter_exact(g)))
+        .cell(static_cast<std::int64_t>(p.num_parts))
+        .cell(static_cast<std::int64_t>(existential.congestion))
+        .cell(static_cast<std::int64_t>(
+            congestion(g, p, found.state.shortcut)))
+        .cell(static_cast<std::int64_t>(
+            block_parameter(g, p, found.state.shortcut)))
+        .cell(found.stats.rounds);
+  };
+
+  // The hard instance: paths as parts. Everything funnels through the tree.
+  const Graph hard = make_lower_bound_graph(k, k);
+  report("lower-bound", hard, make_lower_bound_partition(k, k, hard.num_nodes()),
+         hard.num_nodes() - 1);
+
+  // The benign instance: same scale, grid with row-band parts.
+  const NodeId side = static_cast<NodeId>(std::sqrt(hard.num_nodes())) + 1;
+  const Graph grid = make_grid(side, side);
+  report("grid", grid, make_grid_rows_partition(side, side, 2), 0);
+
+  out.print(std::cout);
+  std::cout <<
+      "\nReading: on the lower-bound graph even the best shortcut needs "
+      "congestion ~k=" << k << " (the Omega(sqrt n) phenomenon);\n"
+      "on the grid the same machinery finds a near-ideal shortcut and "
+      "communication collapses to ~D.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// \file mincut_demo.cpp
+/// Min-cut approximation — the second application family the paper lists.
+/// Estimates the global edge connectivity of several topologies by Karger
+/// sampling + distributed connectivity (each connectivity test runs on
+/// freshly built tree-restricted shortcuts) and compares with the exact
+/// Stoer–Wagner value.
+#include <iostream>
+
+#include "apps/mincut.h"
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "tree/bfs_tree.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lcs;
+
+  struct Scenario {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"cycle-96 (lambda=2)", make_cycle(96)});
+  scenarios.push_back({"grid-10x10 (lambda=2)", make_grid(10, 10)});
+  scenarios.push_back({"torus-9x9 (lambda=4)", make_torus(9, 9)});
+  scenarios.push_back({"dense-ER-64 (lambda~13)",
+                       make_erdos_renyi(64, 0.35, 11)});
+
+  Table out({"graph", "exact lambda", "estimate", "levels", "rounds"});
+  for (const auto& sc : scenarios) {
+    congest::Network net(sc.g);
+    const SpanningTree tree = build_bfs_tree(net, 0);
+    const MincutEstimate est = approx_mincut(net, tree, 99);
+    out.begin_row()
+        .cell(sc.name)
+        .cell(static_cast<std::int64_t>(stoer_wagner_mincut(sc.g)))
+        .cell(static_cast<std::int64_t>(est.estimate))
+        .cell(static_cast<std::int64_t>(est.levels_tested))
+        .cell(est.rounds);
+  }
+  out.print(std::cout);
+  std::cout << "\nThe estimate brackets the exact value within the "
+               "O(log n) guarantee of Karger sampling.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// \file quickstart.cpp
+/// Five-minute tour of the library:
+///   1. build a network topology (a wheel: diameter 2),
+///   2. partition it into connected parts whose *induced* diameters are huge
+///      (arcs of the wheel) — the exact problem from the paper's Section 1.2,
+///   3. construct a tree-restricted shortcut with FindShortcut (doubling
+///      mode: no parameters needed),
+///   4. inspect the shortcut's quality (congestion / block parameter /
+///      dilation) against the Lemma 1 bound,
+///   5. run part-wise aggregation on it and compare the round cost with the
+///      intra-part alternative.
+#include <iostream>
+
+#include "apps/aggregate.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/partition.h"
+#include "mst/intra_flood.h"
+#include "shortcut/shortcut.h"
+#include "tree/bfs_tree.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lcs;
+
+  // 1. Topology: wheel with 512 rim nodes + hub. Diameter 2.
+  const NodeId n = 513;
+  const Graph g = make_wheel(n);
+
+  // 2. Parts: 8 arcs of ~64 rim nodes each; the hub belongs to no part.
+  //    Each arc's induced diameter is ~64 — 32x the graph diameter.
+  const Partition parts = make_cycle_arcs_partition(n, 8);
+  validate_partition(g, parts);
+
+  std::cout << "wheel: n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " diameter=" << diameter_exact(g)
+            << " | max part diameter=" << max_part_diameter(g, parts)
+            << "\n\n";
+
+  // 3. Simulate the CONGEST network, build the BFS tree, find a shortcut.
+  congest::Network net(g);
+  const SpanningTree tree = build_bfs_tree(net, /*root=*/n - 1);
+  PartAggregator aggregator(net, tree, parts);
+
+  const auto& stats = aggregator.construction_stats();
+  std::cout << "FindShortcut (doubling): trials=" << stats.trials
+            << " iterations=" << stats.iterations
+            << " used (c,b)=(" << stats.used_c << "," << stats.used_b << ")"
+            << " rounds=" << stats.rounds << "\n";
+
+  // 4. Quality report (centralized measurements of the distributed result).
+  const Shortcut& s = aggregator.state().shortcut;
+  const std::int32_t b = block_parameter(g, parts, s);
+  Table quality({"metric", "value", "paper bound"});
+  quality.begin_row().cell(std::string("congestion"))
+      .cell(static_cast<std::int64_t>(congestion(g, parts, s)))
+      .cell(std::string("O(c log N)"));
+  quality.begin_row().cell(std::string("block parameter"))
+      .cell(static_cast<std::int64_t>(b))
+      .cell(std::string("3b"));
+  quality.begin_row().cell(std::string("dilation"))
+      .cell(static_cast<std::int64_t>(dilation(g, parts, s)))
+      .cell(std::string("b(2D+1) = ") +
+            std::to_string(lemma1_dilation_bound(tree, b)));
+  quality.print(std::cout);
+
+  // 5. Part-wise leader election: shortcut vs intra-part flooding.
+  const std::int64_t before = net.total_rounds();
+  const auto leaders = aggregator.leaders();
+  const std::int64_t shortcut_rounds = net.total_rounds() - before;
+
+  const NeighborParts neighbor_parts = exchange_neighbor_parts(net, parts);
+  congest::PerNode<std::uint64_t> ids(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v)
+    ids[static_cast<std::size_t>(v)] = static_cast<std::uint64_t>(v);
+  const std::int64_t before_intra = net.total_rounds();
+  intra_part_min_flood(net, parts, neighbor_parts, ids);
+  const std::int64_t intra_rounds = net.total_rounds() - before_intra;
+
+  std::cout << "\nleader election rounds: with shortcut = " << shortcut_rounds
+            << ", intra-part flooding = " << intra_rounds << "\n";
+  std::cout << "leader of part 0 (known to every member): "
+            << leaders[0] << "\n";
+  return 0;
+}

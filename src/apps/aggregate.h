@@ -1,0 +1,56 @@
+/// \file aggregate.h
+/// The user-facing embodiment of the paper's programming model: "a graph is
+/// partitioned into disjoint connected parts; compute a simple function for
+/// each part in isolation" (Section 1.2).
+///
+/// `PartAggregator` constructs a tree-restricted shortcut once (FindShortcut
+/// with Appendix-A doubling — no parameters needed) and then serves
+/// part-wise operations, each in O(b(D + c)) rounds:
+///   * min / leader election over each part,
+///   * broadcast from a designated member to the whole part.
+/// This is the API the examples and applications build on.
+#pragma once
+
+#include "congest/network.h"
+#include "graph/partition.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/part_routing.h"
+#include "shortcut/superstep.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+class PartAggregator {
+ public:
+  /// Builds the shortcut for (tree, partition) via doubling. All rounds are
+  /// accounted in `net`; inspect `construction_stats()` for the breakdown.
+  PartAggregator(congest::Network& net, const SpanningTree& tree,
+                 const Partition& partition,
+                 FindShortcutParams params = {});
+
+  /// Minimum of `values` over each part, known to every member afterwards.
+  /// Non-member entries are ignored; returns kNoValue for part-less nodes.
+  congest::PerNode<std::uint64_t> min(
+      const congest::PerNode<std::uint64_t>& values);
+
+  /// Smallest node id of each part, known to every member.
+  congest::PerNode<NodeId> leaders();
+
+  /// Flood `value_at_source` (< kNoValue only at source members).
+  congest::PerNode<std::uint64_t> broadcast(
+      const congest::PerNode<std::uint64_t>& value_at_source);
+
+  const FindShortcutStats& construction_stats() const { return stats_; }
+  const ShortcutState& state() const { return state_; }
+
+ private:
+  congest::Network& net_;
+  const SpanningTree& tree_;
+  const Partition& partition_;
+  ShortcutState state_;
+  NeighborParts neighbor_parts_;
+  FindShortcutStats stats_;
+  std::int32_t b_steps_;
+};
+
+}  // namespace lcs

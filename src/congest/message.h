@@ -1,0 +1,42 @@
+/// \file message.h
+/// The unit of communication in the CONGEST model: per round, each node may
+/// send at most one message over each incident edge, and a message carries
+/// `O(log n)` bits.
+///
+/// We fix the payload at a small constant number of 64-bit words (enough for
+/// an id, a weight, and an auxiliary field — exactly the "O(log n)-bit"
+/// budget every algorithm in the paper uses). The fixed-size array makes it
+/// structurally impossible for an algorithm to smuggle unbounded data in a
+/// single round; multi-value transfers must be spread over multiple rounds,
+/// which is where the paper's round complexities come from.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace lcs::congest {
+
+struct Message {
+  /// Number of 64-bit payload words; 3 words + tag ≈ O(log n) bits.
+  static constexpr int kMaxWords = 3;
+
+  /// Algorithm-defined message kind.
+  std::uint32_t tag = 0;
+  std::array<std::uint64_t, kMaxWords> words{};
+
+  Message() = default;
+  explicit Message(std::uint32_t t, std::uint64_t w0 = 0, std::uint64_t w1 = 0,
+                   std::uint64_t w2 = 0)
+      : tag(t), words{w0, w1, w2} {}
+};
+
+/// A received message together with where it came from.
+struct Incoming {
+  NodeId from = kNoNode;  ///< the sending neighbor
+  EdgeId edge = kNoEdge;  ///< the connecting edge
+  Message msg;
+};
+
+}  // namespace lcs::congest

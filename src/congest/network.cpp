@@ -1,0 +1,115 @@
+#include "congest/network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lcs::congest {
+
+void Context::send(EdgeId e, const Message& m) {
+  net_.do_send(id_, e, m, round_);
+}
+
+void Context::wake_next_round() { net_.do_wake(id_); }
+
+Network::Network(const Graph& graph) : graph_(&graph) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  inbox_.resize(n);
+  next_inbox_.resize(n);
+  in_next_active_.assign(n, false);
+  edge_dir_last_send_.assign(static_cast<std::size_t>(graph.num_edges()) * 2,
+                             -2);
+}
+
+void Network::do_send(NodeId from, EdgeId e, const Message& m,
+                      std::int64_t round) {
+  const auto& ed = graph_->edge(e);
+  LCS_CHECK(ed.u == from || ed.v == from,
+            "process tried to send over a non-incident edge");
+  const NodeId to = ed.u == from ? ed.v : ed.u;
+  const std::size_t dir =
+      static_cast<std::size_t>(e) * 2 + (from == ed.u ? 0 : 1);
+  LCS_CHECK(edge_dir_last_send_[dir] != round,
+            "CONGEST violation: two sends over one edge in one round");
+  edge_dir_last_send_[dir] = round;
+
+  auto& box = next_inbox_[static_cast<std::size_t>(to)];
+  box.push_back(Incoming{from, e, m});
+  ++phase_messages_;
+  if (!in_next_active_[static_cast<std::size_t>(to)]) {
+    in_next_active_[static_cast<std::size_t>(to)] = true;
+    next_active_.push_back(to);
+  }
+}
+
+void Network::do_wake(NodeId v) {
+  if (!in_next_active_[static_cast<std::size_t>(v)]) {
+    in_next_active_[static_cast<std::size_t>(v)] = true;
+    next_active_.push_back(v);
+  }
+}
+
+PhaseStats Network::run(std::span<Process* const> procs,
+                        std::int64_t max_rounds) {
+  LCS_CHECK(procs.size() == static_cast<std::size_t>(graph_->num_nodes()),
+            "one process per node required");
+
+  // Reset transient state.
+  for (auto& box : inbox_) box.clear();
+  for (auto& box : next_inbox_) box.clear();
+  std::fill(in_next_active_.begin(), in_next_active_.end(), false);
+  next_active_.clear();
+  std::fill(edge_dir_last_send_.begin(), edge_dir_last_send_.end(), -2);
+  phase_messages_ = 0;
+
+  // Round -1: on_start for every node (sends arrive in round 0).
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    Context ctx(*this, v, graph_->num_nodes(), -1, graph_->neighbors(v));
+    procs[static_cast<std::size_t>(v)]->on_start(ctx);
+  }
+
+  std::int64_t round = 0;
+  std::vector<NodeId> active;
+  while (!next_active_.empty()) {
+    LCS_CHECK(round < max_rounds,
+              "phase exceeded max_rounds without quiescing");
+
+    // Promote next-round state to current.
+    active.swap(next_active_);
+    next_active_.clear();
+    std::sort(active.begin(), active.end());  // deterministic order
+    for (const NodeId v : active) {
+      inbox_[static_cast<std::size_t>(v)].swap(
+          next_inbox_[static_cast<std::size_t>(v)]);
+      next_inbox_[static_cast<std::size_t>(v)].clear();
+      in_next_active_[static_cast<std::size_t>(v)] = false;
+    }
+
+    for (const NodeId v : active) {
+      Context ctx(*this, v, graph_->num_nodes(), round, graph_->neighbors(v));
+      procs[static_cast<std::size_t>(v)]->on_round(
+          ctx, inbox_[static_cast<std::size_t>(v)]);
+      inbox_[static_cast<std::size_t>(v)].clear();
+    }
+    ++round;
+  }
+
+  const PhaseStats stats{round, phase_messages_};
+  total_rounds_ += stats.rounds;
+  total_messages_ += stats.messages;
+  return stats;
+}
+
+void Network::charge(std::int64_t rounds, const std::string& label) {
+  LCS_CHECK(rounds >= 0, "cannot charge negative rounds");
+  total_rounds_ += rounds;
+  charged_[label] += rounds;
+}
+
+void Network::reset_accounting() {
+  total_rounds_ = 0;
+  total_messages_ = 0;
+  charged_.clear();
+}
+
+}  // namespace lcs::congest

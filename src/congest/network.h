@@ -1,0 +1,99 @@
+/// \file network.h
+/// The synchronous CONGEST engine.
+///
+/// `Network` executes *phases*: a phase instantiates one `Process` per node
+/// and runs synchronous rounds until the system is quiescent (no messages in
+/// flight, no wakeups pending) or a round limit trips. Rounds and messages
+/// are accounted exactly; coordination costs that a real deployment would
+/// pay but that the simulator performs centrally (e.g. the O(D) termination
+/// echo after a quiescent phase, or broadcasting a shared random seed) are
+/// charged explicitly through `charge()` with a label, so every round in
+/// `total_rounds()` is justified.
+///
+/// The engine is activity-driven: per round it touches only nodes that
+/// received a message or requested a wakeup, so simulation work is
+/// proportional to the total message count, not rounds × nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "congest/message.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+
+namespace lcs::congest {
+
+/// Round/message counts for one phase.
+struct PhaseStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+};
+
+class Network {
+ public:
+  /// Default per-phase round limit; a phase exceeding it is a bug
+  /// (non-quiescing protocol) and fails loudly.
+  static constexpr std::int64_t kDefaultMaxRounds = 50'000'000;
+
+  explicit Network(const Graph& graph);
+
+  const Graph& graph() const { return *graph_; }
+  NodeId num_nodes() const { return graph_->num_nodes(); }
+
+  /// Run one phase over the given per-node processes (`procs[v]` is node
+  /// v's process; size must equal num_nodes). Returns this phase's stats
+  /// and adds them to the running totals.
+  PhaseStats run(std::span<Process* const> procs,
+                 std::int64_t max_rounds = kDefaultMaxRounds);
+
+  /// Account `rounds` additional rounds of explicitly-charged coordination
+  /// (e.g. termination-detection echo, seed broadcast). Labels are
+  /// aggregated for reporting.
+  void charge(std::int64_t rounds, const std::string& label);
+
+  std::int64_t total_rounds() const { return total_rounds_; }
+  std::int64_t total_messages() const { return total_messages_; }
+  const std::map<std::string, std::int64_t>& charged_rounds() const {
+    return charged_;
+  }
+
+  /// Reset the accumulated totals (the topology is preserved).
+  void reset_accounting();
+
+ private:
+  friend class Context;
+  void do_send(NodeId from, EdgeId e, const Message& m, std::int64_t round);
+  void do_wake(NodeId v);
+
+  const Graph* graph_;
+
+  // Per-phase transient state.
+  std::vector<std::vector<Incoming>> inbox_;
+  std::vector<std::vector<Incoming>> next_inbox_;
+  std::vector<NodeId> next_active_;
+  std::vector<bool> in_next_active_;
+  std::vector<std::int64_t> edge_dir_last_send_;  // per directed edge
+  std::int64_t phase_messages_ = 0;
+
+  std::int64_t total_rounds_ = 0;
+  std::int64_t total_messages_ = 0;
+  std::map<std::string, std::int64_t> charged_;
+};
+
+/// Convenience: run a phase over a vector of concrete processes.
+template <class P>
+PhaseStats run_phase(Network& net, std::vector<P>& procs,
+                     std::int64_t max_rounds = Network::kDefaultMaxRounds) {
+  static_assert(std::is_base_of_v<Process, P>);
+  std::vector<Process*> ptrs;
+  ptrs.reserve(procs.size());
+  for (auto& p : procs) ptrs.push_back(&p);
+  return net.run(ptrs, max_rounds);
+}
+
+}  // namespace lcs::congest

@@ -1,0 +1,240 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/union_find.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lcs {
+
+namespace {
+
+NodeId grid_node(NodeId width, NodeId row, NodeId col) {
+  return row * width + col;
+}
+
+}  // namespace
+
+Graph make_grid(NodeId width, NodeId height) {
+  LCS_CHECK(width >= 1 && height >= 1, "grid dimensions must be positive");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(width) * height * 2);
+  for (NodeId r = 0; r < height; ++r) {
+    for (NodeId c = 0; c < width; ++c) {
+      if (c + 1 < width)
+        edges.push_back({grid_node(width, r, c), grid_node(width, r, c + 1), 1});
+      if (r + 1 < height)
+        edges.push_back({grid_node(width, r, c), grid_node(width, r + 1, c), 1});
+    }
+  }
+  return Graph(width * height, std::move(edges));
+}
+
+Graph make_torus(NodeId width, NodeId height) {
+  LCS_CHECK(width >= 3 && height >= 3, "torus needs width, height >= 3");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(width) * height * 2);
+  for (NodeId r = 0; r < height; ++r) {
+    for (NodeId c = 0; c < width; ++c) {
+      edges.push_back(
+          {grid_node(width, r, c), grid_node(width, r, (c + 1) % width), 1});
+      edges.push_back(
+          {grid_node(width, r, c), grid_node(width, (r + 1) % height, c), 1});
+    }
+  }
+  return Graph(width * height, std::move(edges));
+}
+
+Graph make_genus_grid(NodeId width, NodeId height, int genus,
+                      std::uint64_t seed) {
+  LCS_CHECK(genus >= 0, "genus must be non-negative");
+  Graph base = make_grid(width, height);
+  const NodeId n = base.num_nodes();
+  LCS_CHECK(n >= 4 || genus == 0, "graph too small to add chords");
+
+  std::set<std::pair<NodeId, NodeId>> present;
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(base.num_edges()) + genus);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    const auto& ed = base.edge(e);
+    present.emplace(ed.u, ed.v);
+    edges.push_back(ed);
+  }
+
+  Rng rng(seed);
+  int added = 0;
+  int attempts = 0;
+  while (added < genus) {
+    LCS_CHECK(++attempts < 1000 * (genus + 1),
+              "could not place requested number of chords");
+    NodeId a = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!present.emplace(a, b).second) continue;
+    edges.push_back({a, b, 1});
+    ++added;
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_path(NodeId n) {
+  LCS_CHECK(n >= 1, "path needs at least one node");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_cycle(NodeId n) {
+  LCS_CHECK(n >= 3, "cycle needs at least three nodes");
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_tree(NodeId n, std::uint64_t seed) {
+  LCS_CHECK(n >= 1, "tree needs at least one node");
+  Rng rng(seed);
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent =
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    edges.push_back({parent, v, 1});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_maze(NodeId width, NodeId height, double keep_fraction,
+                       std::uint64_t seed) {
+  LCS_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0,
+            "keep_fraction must be in [0, 1]");
+  Graph grid = make_grid(width, height);
+  Rng rng(seed);
+
+  // Random spanning tree via randomized Kruskal over shuffled grid edges.
+  std::vector<EdgeId> order(static_cast<std::size_t>(grid.num_edges()));
+  for (EdgeId e = 0; e < grid.num_edges(); ++e)
+    order[static_cast<std::size_t>(e)] = e;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+
+  UnionFind uf(static_cast<std::size_t>(grid.num_nodes()));
+  std::vector<bool> in_tree(static_cast<std::size_t>(grid.num_edges()), false);
+  for (EdgeId e : order) {
+    const auto& ed = grid.edge(e);
+    if (uf.unite(static_cast<std::size_t>(ed.u), static_cast<std::size_t>(ed.v)))
+      in_tree[static_cast<std::size_t>(e)] = true;
+  }
+
+  std::vector<Graph::Edge> edges;
+  for (EdgeId e = 0; e < grid.num_edges(); ++e) {
+    if (in_tree[static_cast<std::size_t>(e)] || rng.next_bool(keep_fraction))
+      edges.push_back(grid.edge(e));
+  }
+  return Graph(grid.num_nodes(), std::move(edges));
+}
+
+Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed) {
+  LCS_CHECK(n >= 1, "graph needs at least one node");
+  LCS_CHECK(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> present;
+  std::vector<Graph::Edge> edges;
+
+  // Random spanning tree first so the result is always connected.
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent =
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    present.emplace(std::min(parent, v), std::max(parent, v));
+    edges.push_back({parent, v, 1});
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!rng.next_bool(p)) continue;
+      if (present.contains({u, v})) continue;
+      present.emplace(u, v);
+      edges.push_back({u, v, 1});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_wheel(NodeId n) {
+  LCS_CHECK(n >= 4, "wheel needs at least four nodes");
+  const NodeId hub = n - 1;
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % (n - 1)), 1});
+    edges.push_back({v, hub, 1});
+  }
+  return Graph(n, std::move(edges));
+}
+
+NodeId lower_bound_path_node(NodeId path_len, NodeId path, NodeId column) {
+  return path * path_len + column;
+}
+
+Graph make_lower_bound_graph(NodeId num_paths, NodeId path_len) {
+  LCS_CHECK(num_paths >= 1 && path_len >= 2,
+            "need at least one path of length >= 2");
+  std::vector<Graph::Edge> edges;
+
+  // Path edges.
+  for (NodeId i = 0; i < num_paths; ++i)
+    for (NodeId j = 0; j + 1 < path_len; ++j)
+      edges.push_back({lower_bound_path_node(path_len, i, j),
+                       lower_bound_path_node(path_len, i, j + 1), 1});
+
+  // Balanced binary tree over the columns. Level 0 = one tree leaf per
+  // column; each subsequent level pairs up consecutive nodes.
+  NodeId next = num_paths * path_len;
+  std::vector<NodeId> level(static_cast<std::size_t>(path_len));
+  for (NodeId j = 0; j < path_len; ++j) {
+    level[static_cast<std::size_t>(j)] = next++;
+    // Spokes: the leaf for column j attaches to column j of every path.
+    for (NodeId i = 0; i < num_paths; ++i)
+      edges.push_back({level[static_cast<std::size_t>(j)],
+                       lower_bound_path_node(path_len, i, j), 1});
+  }
+  while (level.size() > 1) {
+    std::vector<NodeId> parents;
+    parents.reserve(level.size() / 2 + 1);
+    for (std::size_t k = 0; k < level.size(); k += 2) {
+      if (k + 1 < level.size()) {
+        const NodeId parent = next++;
+        edges.push_back({parent, level[k], 1});
+        edges.push_back({parent, level[k + 1], 1});
+        parents.push_back(parent);
+      } else {
+        parents.push_back(level[k]);  // odd node promotes unchanged
+      }
+    }
+    level = std::move(parents);
+  }
+
+  return Graph(next, std::move(edges));
+}
+
+Graph with_random_weights(const Graph& g, Weight lo, Weight hi,
+                          std::uint64_t seed) {
+  LCS_CHECK(lo <= hi, "weight range is empty");
+  Rng rng(seed);
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    Graph::Edge ed = g.edge(e);
+    ed.w = lo + rng.next_below(hi - lo + 1);
+    edges.push_back(ed);
+  }
+  return Graph(g.num_nodes(), std::move(edges));
+}
+
+}  // namespace lcs

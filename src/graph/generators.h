@@ -1,0 +1,85 @@
+/// \file generators.h
+/// Synthetic graph families used throughout the benches and tests.
+///
+/// The paper's claims are parameterized by the node count `n`, the hop
+/// diameter `D`, the genus `g`, and the part structure. These generators
+/// sweep those parameters directly:
+///
+///  * grids and mazes — planar (genus 0) with tunable diameter;
+///  * toruses — genus 1;
+///  * `make_genus_grid` — a grid plus `g` extra chords. Adding one edge to a
+///    graph raises its orientable genus by at most one, so the family has
+///    genus at most `g` while remaining easy to generate (the paper needs
+///    *no embedding*, so neither do we);
+///  * Erdős–Rényi — non-planar control family;
+///  * `make_lower_bound_graph` — the Peleg–Rubinovich-style construction
+///    behind the Ω̃(√n + D) lower bound: √n disjoint paths crossed by a
+///    shallow binary tree. Any shortcut for the path parts must either ride
+///    the tree (congestion) or stay on the path (dilation).
+///
+/// All generators produce connected simple graphs with unit weights;
+/// `with_random_weights` re-weights for MST workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace lcs {
+
+/// `width x height` grid, 4-neighbor connectivity. Planar.
+/// Diameter = width + height - 2.
+Graph make_grid(NodeId width, NodeId height);
+
+/// Grid with wrap-around in both dimensions. Genus 1.
+/// Requires width, height >= 3 so no parallel edges arise.
+Graph make_torus(NodeId width, NodeId height);
+
+/// Grid plus `genus` random chords between non-adjacent nodes; the result
+/// has orientable genus at most `genus`.
+Graph make_genus_grid(NodeId width, NodeId height, int genus,
+                      std::uint64_t seed);
+
+/// Simple path on n nodes (diameter n-1). The extreme high-diameter case.
+Graph make_path(NodeId n);
+
+/// Simple cycle on n >= 3 nodes. The classic motivating example: one part
+/// covering half the cycle has diameter ~n/2 while D ~ n/2 as well, but a
+/// partition into arcs has parts whose *induced* diameter equals their size.
+Graph make_cycle(NodeId n);
+
+/// Uniform random labelled tree (via random attachment), diameter O(log n)
+/// to O(n) depending on seed.
+Graph make_random_tree(NodeId n, std::uint64_t seed);
+
+/// Spanning tree of a `width x height` grid plus a `keep_fraction` of the
+/// remaining grid edges: a connected random planar "maze" with diameter
+/// anywhere between grid-like and tree-like. keep_fraction in [0, 1].
+Graph make_random_maze(NodeId width, NodeId height, double keep_fraction,
+                       std::uint64_t seed);
+
+/// Connected Erdős–Rényi graph: G(n, p) plus a random spanning tree to
+/// guarantee connectivity.
+Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed);
+
+/// Wheel: a cycle 0..n-2 plus a hub (node n-1) adjacent to every cycle node.
+/// Planar with diameter 2 — the cleanest adversarial case for intra-part
+/// communication: an arc part has induced diameter ~arc length >> D, yet a
+/// perfect shortcut exists through the hub (congestion 1, block param 1).
+Graph make_wheel(NodeId n);
+
+/// Lower-bound construction: `num_paths` disjoint paths of `path_len`
+/// columns; a balanced binary tree over the columns, whose leaf for column j
+/// attaches to the j-th node of every path. Diameter O(log path_len).
+/// With parts = the paths, congestion + dilation of any shortcut is
+/// Ω(min(num_paths, path_len)).
+Graph make_lower_bound_graph(NodeId num_paths, NodeId path_len);
+
+/// Copy of `g` with i.i.d. uniform edge weights in [lo, hi].
+Graph with_random_weights(const Graph& g, Weight lo, Weight hi,
+                          std::uint64_t seed);
+
+/// In the lower-bound graph, the j-th node of path i (0-based).
+NodeId lower_bound_path_node(NodeId path_len, NodeId path, NodeId column);
+
+}  // namespace lcs

@@ -1,0 +1,125 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace lcs {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId src) {
+  LCS_CHECK(src >= 0 && src < g.num_nodes(), "source out of range");
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::deque<NodeId> queue{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const auto& nb : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(nb.node)] < 0) {
+        dist[static_cast<std::size_t>(nb.node)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int32_t> bfs_distances_filtered(
+    const Graph& g, NodeId src, const std::vector<bool>& allowed) {
+  LCS_CHECK(src >= 0 && src < g.num_nodes(), "source out of range");
+  LCS_CHECK(allowed.size() == static_cast<std::size_t>(g.num_nodes()),
+            "filter size mismatch");
+  LCS_CHECK(allowed[static_cast<std::size_t>(src)], "source filtered out");
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::deque<NodeId> queue{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const auto& nb : g.neighbors(v)) {
+      if (allowed[static_cast<std::size_t>(nb.node)] &&
+          dist[static_cast<std::size_t>(nb.node)] < 0) {
+        dist[static_cast<std::size_t>(nb.node)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::int32_t d) { return d < 0; });
+}
+
+namespace {
+
+/// (farthest node, its distance) from src; requires connectivity.
+std::pair<NodeId, std::int32_t> farthest(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  NodeId best = src;
+  std::int32_t best_d = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::int32_t d = dist[static_cast<std::size_t>(v)];
+    LCS_CHECK(d >= 0, "graph must be connected for diameter computation");
+    if (d > best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return {best, best_d};
+}
+
+}  // namespace
+
+std::int32_t diameter_exact(const Graph& g) {
+  LCS_CHECK(g.num_nodes() > 0, "diameter of empty graph");
+  std::int32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    best = std::max(best, farthest(g, v).second);
+  return best;
+}
+
+std::int32_t diameter_double_sweep(const Graph& g) {
+  LCS_CHECK(g.num_nodes() > 0, "diameter of empty graph");
+  const auto [far1, d1] = farthest(g, 0);
+  (void)d1;
+  return farthest(g, far1).second;
+}
+
+std::int32_t part_diameter_exact(const Graph& g, const Partition& p,
+                                 PartId i) {
+  std::vector<bool> allowed(static_cast<std::size_t>(g.num_nodes()), false);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (p.part(v) == i) {
+      allowed[static_cast<std::size_t>(v)] = true;
+      nodes.push_back(v);
+    }
+  }
+  LCS_CHECK(!nodes.empty(), "part has no members");
+  std::int32_t best = 0;
+  for (const NodeId s : nodes) {
+    const auto dist = bfs_distances_filtered(g, s, allowed);
+    for (const NodeId v : nodes) {
+      LCS_CHECK(dist[static_cast<std::size_t>(v)] >= 0,
+                "part is not connected");
+      best = std::max(best, dist[static_cast<std::size_t>(v)]);
+    }
+  }
+  return best;
+}
+
+std::int32_t max_part_diameter(const Graph& g, const Partition& p) {
+  std::int32_t best = 0;
+  for (PartId i = 0; i < p.num_parts; ++i)
+    best = std::max(best, part_diameter_exact(g, p, i));
+  return best;
+}
+
+}  // namespace lcs

@@ -1,0 +1,39 @@
+/// \file metrics.h
+/// Centralized graph measurements: BFS distances, diameters, connectivity,
+/// and per-part induced diameters. These are *reference* computations used
+/// to validate the distributed algorithms and to report workload parameters
+/// (D, part diameters) in the benches — they are not part of any protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace lcs {
+
+/// Hop distances from `src`; -1 for unreachable nodes.
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId src);
+
+/// BFS restricted to nodes where `allowed[v]` is true. `src` must be allowed.
+std::vector<std::int32_t> bfs_distances_filtered(
+    const Graph& g, NodeId src, const std::vector<bool>& allowed);
+
+bool is_connected(const Graph& g);
+
+/// Exact hop diameter by n BFS sweeps. O(n·m): use for n up to ~10⁴.
+std::int32_t diameter_exact(const Graph& g);
+
+/// Double-sweep lower bound on the diameter; exact on trees, within 2x
+/// always. O(m). Use to report D on large instances.
+std::int32_t diameter_double_sweep(const Graph& g);
+
+/// Exact diameter of the subgraph induced by part `i`. O(|Pi|·m(Pi)).
+std::int32_t part_diameter_exact(const Graph& g, const Partition& p, PartId i);
+
+/// Max over all parts of the exact induced diameter.
+std::int32_t max_part_diameter(const Graph& g, const Partition& p);
+
+}  // namespace lcs

@@ -1,0 +1,223 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "graph/generators.h"
+#include "graph/union_find.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lcs {
+
+std::vector<std::vector<NodeId>> Partition::members() const {
+  std::vector<std::vector<NodeId>> result(static_cast<std::size_t>(num_parts));
+  for (NodeId v = 0; v < static_cast<NodeId>(part_of.size()); ++v) {
+    const PartId p = part_of[static_cast<std::size_t>(v)];
+    if (p != kNoPart) result[static_cast<std::size_t>(p)].push_back(v);
+  }
+  return result;
+}
+
+void validate_partition(const Graph& g, const Partition& p) {
+  LCS_CHECK(static_cast<NodeId>(p.part_of.size()) == g.num_nodes(),
+            "partition size does not match graph");
+  LCS_CHECK(p.num_parts >= 0, "negative part count");
+  for (const PartId id : p.part_of)
+    LCS_CHECK(id == kNoPart || (id >= 0 && id < p.num_parts),
+              "part id out of range");
+
+  const auto groups = p.members();
+  for (PartId i = 0; i < p.num_parts; ++i) {
+    const auto& nodes = groups[static_cast<std::size_t>(i)];
+    LCS_CHECK(!nodes.empty(), "empty part");
+    // BFS inside the induced subgraph.
+    std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+    std::deque<NodeId> queue{nodes.front()};
+    seen[static_cast<std::size_t>(nodes.front())] = true;
+    std::size_t reached = 0;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      ++reached;
+      for (const auto& nb : g.neighbors(v)) {
+        if (p.part(nb.node) == i && !seen[static_cast<std::size_t>(nb.node)]) {
+          seen[static_cast<std::size_t>(nb.node)] = true;
+          queue.push_back(nb.node);
+        }
+      }
+    }
+    LCS_CHECK(reached == nodes.size(), "part is not connected");
+  }
+}
+
+Partition make_singleton_partition(NodeId n) {
+  Partition p;
+  p.num_parts = n;
+  p.part_of.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) p.part_of[static_cast<std::size_t>(v)] = v;
+  return p;
+}
+
+Partition make_whole_graph_partition(NodeId n) {
+  Partition p;
+  p.num_parts = n > 0 ? 1 : 0;
+  p.part_of.assign(static_cast<std::size_t>(n), n > 0 ? 0 : kNoPart);
+  return p;
+}
+
+Partition make_random_bfs_partition(const Graph& g, PartId k,
+                                    std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  LCS_CHECK(k >= 1 && k <= n, "part count out of range");
+  Rng rng(seed);
+
+  Partition p;
+  p.num_parts = k;
+  p.part_of.assign(static_cast<std::size_t>(n), kNoPart);
+
+  // Distinct random seeds.
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+
+  // Randomized multi-source growth: a frontier of (node, part) claims.
+  std::vector<std::pair<NodeId, PartId>> frontier;
+  for (PartId i = 0; i < k; ++i) {
+    const NodeId s = order[static_cast<std::size_t>(i)];
+    p.part_of[static_cast<std::size_t>(s)] = i;
+    frontier.emplace_back(s, i);
+  }
+  while (!frontier.empty()) {
+    // Pick a random claim to expand; keeps blob sizes balanced in
+    // expectation and shapes irregular.
+    const std::size_t pick = rng.next_below(frontier.size());
+    const auto [v, part] = frontier[pick];
+    bool expanded = false;
+    for (const auto& nb : g.neighbors(v)) {
+      if (p.part_of[static_cast<std::size_t>(nb.node)] == kNoPart) {
+        p.part_of[static_cast<std::size_t>(nb.node)] = part;
+        frontier.emplace_back(nb.node, part);
+        expanded = true;
+        break;
+      }
+    }
+    if (!expanded) {
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+    }
+  }
+  return p;
+}
+
+Partition make_forest_split_partition(const Graph& g, PartId k,
+                                      std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  LCS_CHECK(k >= 1 && k <= n, "part count out of range");
+  Rng rng(seed);
+
+  // Random spanning tree via randomized Kruskal.
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    order[static_cast<std::size_t>(e)] = e;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+
+  UnionFind tree_uf(static_cast<std::size_t>(n));
+  std::vector<EdgeId> tree_edges;
+  tree_edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (EdgeId e : order) {
+    const auto& ed = g.edge(e);
+    if (tree_uf.unite(static_cast<std::size_t>(ed.u),
+                      static_cast<std::size_t>(ed.v)))
+      tree_edges.push_back(e);
+  }
+  LCS_CHECK(tree_edges.size() == static_cast<std::size_t>(n) - 1,
+            "graph must be connected");
+
+  // Drop k-1 random tree edges; components of the remainder are the parts.
+  for (std::size_t i = tree_edges.size(); i > 1; --i)
+    std::swap(tree_edges[i - 1], tree_edges[rng.next_below(i)]);
+  UnionFind part_uf(static_cast<std::size_t>(n));
+  for (std::size_t i = static_cast<std::size_t>(k) - 1; i < tree_edges.size();
+       ++i) {
+    const auto& ed = g.edge(tree_edges[i]);
+    part_uf.unite(static_cast<std::size_t>(ed.u),
+                  static_cast<std::size_t>(ed.v));
+  }
+
+  Partition p;
+  p.part_of.assign(static_cast<std::size_t>(n), kNoPart);
+  std::vector<PartId> root_to_part(static_cast<std::size_t>(n), kNoPart);
+  PartId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t root = part_uf.find(static_cast<std::size_t>(v));
+    if (root_to_part[root] == kNoPart) root_to_part[root] = next++;
+    p.part_of[static_cast<std::size_t>(v)] = root_to_part[root];
+  }
+  p.num_parts = next;
+  return p;
+}
+
+Partition make_grid_rows_partition(NodeId width, NodeId height,
+                                   NodeId rows_per_part) {
+  LCS_CHECK(rows_per_part >= 1, "rows_per_part must be positive");
+  Partition p;
+  p.num_parts = (height + rows_per_part - 1) / rows_per_part;
+  p.part_of.resize(static_cast<std::size_t>(width) * height);
+  for (NodeId r = 0; r < height; ++r)
+    for (NodeId c = 0; c < width; ++c)
+      p.part_of[static_cast<std::size_t>(r * width + c)] = r / rows_per_part;
+  return p;
+}
+
+Partition make_snake_partition(NodeId width, NodeId height, PartId num_parts) {
+  const NodeId n = width * height;
+  LCS_CHECK(num_parts >= 1 && num_parts <= n, "part count out of range");
+  Partition p;
+  p.num_parts = num_parts;
+  p.part_of.resize(static_cast<std::size_t>(n));
+  const NodeId chunk = (n + num_parts - 1) / num_parts;
+  NodeId index = 0;
+  for (NodeId r = 0; r < height; ++r) {
+    for (NodeId c = 0; c < width; ++c) {
+      // Boustrophedon order: even rows left-to-right, odd rows right-to-left,
+      // so consecutive indices are always grid-adjacent.
+      const NodeId col = (r % 2 == 0) ? c : width - 1 - c;
+      p.part_of[static_cast<std::size_t>(r * width + col)] =
+          std::min<PartId>(index / chunk, num_parts - 1);
+      ++index;
+    }
+  }
+  return p;
+}
+
+Partition make_cycle_arcs_partition(NodeId n, PartId num_parts) {
+  const NodeId cycle_len = n - 1;  // node n-1 is the hub
+  LCS_CHECK(num_parts >= 1 && num_parts <= cycle_len,
+            "part count out of range");
+  Partition p;
+  p.num_parts = num_parts;
+  p.part_of.assign(static_cast<std::size_t>(n), kNoPart);
+  const NodeId chunk = (cycle_len + num_parts - 1) / num_parts;
+  for (NodeId v = 0; v < cycle_len; ++v)
+    p.part_of[static_cast<std::size_t>(v)] =
+        std::min<PartId>(v / chunk, num_parts - 1);
+  return p;
+}
+
+Partition make_lower_bound_partition(NodeId num_paths, NodeId path_len,
+                                     NodeId total_nodes) {
+  Partition p;
+  p.num_parts = num_paths;
+  p.part_of.assign(static_cast<std::size_t>(total_nodes), kNoPart);
+  for (NodeId i = 0; i < num_paths; ++i)
+    for (NodeId j = 0; j < path_len; ++j)
+      p.part_of[static_cast<std::size_t>(
+          lower_bound_path_node(path_len, i, j))] = i;
+  return p;
+}
+
+}  // namespace lcs

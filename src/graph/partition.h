@@ -1,0 +1,75 @@
+/// \file partition.h
+/// Node partitions — the "disjoint individually-connected parts" that
+/// shortcut frameworks operate on (Definition 1 of the paper).
+///
+/// A `Partition` assigns each node to at most one part; nodes may be
+/// unassigned (`kNoPart`), matching the paper's algorithms where a node
+/// outside every part merely relays messages. Each part must be non-empty
+/// and connected in the induced subgraph (`validate_partition` checks this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lcs {
+
+using PartId = std::int32_t;
+inline constexpr PartId kNoPart = -1;
+
+struct Partition {
+  /// part_of[v] in [0, num_parts) or kNoPart.
+  std::vector<PartId> part_of;
+  PartId num_parts = 0;
+
+  PartId part(NodeId v) const {
+    return part_of[static_cast<std::size_t>(v)];
+  }
+
+  /// Materialize the member list of every part (index = part id).
+  std::vector<std::vector<NodeId>> members() const;
+};
+
+/// Throws CheckFailure unless every part is non-empty and induces a
+/// connected subgraph of `g`, and all assignments are in range.
+void validate_partition(const Graph& g, const Partition& p);
+
+/// Every node its own part (the starting point of Boruvka).
+Partition make_singleton_partition(NodeId n);
+
+/// All nodes in one part.
+Partition make_whole_graph_partition(NodeId n);
+
+/// k random seeds grow connected blobs by randomized multi-source BFS.
+/// Covers every node. Requires 1 <= k <= n and `g` connected.
+Partition make_random_bfs_partition(const Graph& g, PartId k,
+                                    std::uint64_t seed);
+
+/// Remove k-1 random edges from a random spanning tree of `g`; parts are the
+/// resulting forest components. Covers every node.
+Partition make_forest_split_partition(const Graph& g, PartId k,
+                                      std::uint64_t seed);
+
+/// Grid-specific: each part is a horizontal band of `rows_per_part` rows.
+/// Part diameter ~ width, which is Θ(D) on wide grids — the benign case.
+Partition make_grid_rows_partition(NodeId width, NodeId height,
+                                   NodeId rows_per_part);
+
+/// Grid-specific: the boustrophedon (S-shaped) traversal of the grid is cut
+/// into `num_parts` contiguous chunks; parts are connected bands with
+/// irregular boundaries (useful as a covering partition distinct from rows).
+Partition make_snake_partition(NodeId width, NodeId height, PartId num_parts);
+
+/// Wheel-graph adversarial partition: the cycle is split into `num_parts`
+/// arcs; the hub stays unassigned. Arc parts have induced diameter
+/// ~ (n / num_parts) while the wheel's diameter is 2 — the motivating gap
+/// from Section 1.2 that shortcuts close.
+Partition make_cycle_arcs_partition(NodeId n, PartId num_parts);
+
+/// Lower-bound graph partition: part i = the i-th path; binary-tree nodes
+/// stay unassigned.
+Partition make_lower_bound_partition(NodeId num_paths, NodeId path_len,
+                                     NodeId total_nodes);
+
+}  // namespace lcs

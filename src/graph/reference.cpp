@@ -1,0 +1,121 @@
+#include "graph/reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/union_find.h"
+#include "util/check.h"
+
+namespace lcs {
+
+MstResult kruskal_mst(const Graph& g) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.weight_key(a) < g.weight_key(b);
+  });
+
+  MstResult result;
+  UnionFind uf(static_cast<std::size_t>(g.num_nodes()));
+  for (const EdgeId e : order) {
+    const auto& ed = g.edge(e);
+    if (uf.unite(static_cast<std::size_t>(ed.u),
+                 static_cast<std::size_t>(ed.v))) {
+      result.edges.push_back(e);
+      result.total_weight += ed.w;
+    }
+  }
+  LCS_CHECK(result.edges.size() ==
+                static_cast<std::size_t>(g.num_nodes()) - 1 ||
+            g.num_nodes() == 0,
+            "graph must be connected for MST");
+  std::sort(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+std::vector<NodeId> connected_components(const Graph& g,
+                                         const std::vector<bool>& edge_alive) {
+  LCS_CHECK(edge_alive.size() == static_cast<std::size_t>(g.num_edges()),
+            "edge filter size mismatch");
+  UnionFind uf(static_cast<std::size_t>(g.num_nodes()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!edge_alive[static_cast<std::size_t>(e)]) continue;
+    const auto& ed = g.edge(e);
+    uf.unite(static_cast<std::size_t>(ed.u), static_cast<std::size_t>(ed.v));
+  }
+  // Label = minimum node id in the component.
+  std::vector<NodeId> label(static_cast<std::size_t>(g.num_nodes()), kNoNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t root = uf.find(static_cast<std::size_t>(v));
+    if (label[root] == kNoNode) label[root] = v;
+  }
+  std::vector<NodeId> result(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    result[static_cast<std::size_t>(v)] =
+        label[uf.find(static_cast<std::size_t>(v))];
+  return result;
+}
+
+std::vector<NodeId> connected_components(const Graph& g) {
+  const std::vector<bool> all(static_cast<std::size_t>(g.num_edges()), true);
+  return connected_components(g, all);
+}
+
+Weight stoer_wagner_mincut(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  LCS_CHECK(n >= 2, "min cut needs at least two nodes");
+
+  // Dense weight matrix; supernodes merge into lower index.
+  std::vector<std::vector<Weight>> w(n, std::vector<Weight>(n, 0));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    w[static_cast<std::size_t>(ed.u)][static_cast<std::size_t>(ed.v)] += ed.w;
+    w[static_cast<std::size_t>(ed.v)][static_cast<std::size_t>(ed.u)] += ed.w;
+  }
+
+  std::vector<std::size_t> active(n);
+  std::iota(active.begin(), active.end(), std::size_t{0});
+
+  Weight best = std::numeric_limits<Weight>::max();
+  while (active.size() > 1) {
+    // Maximum-adjacency order starting from active[0].
+    std::vector<Weight> conn(n, 0);
+    std::vector<bool> added(n, false);
+    std::vector<std::size_t> order;
+    order.reserve(active.size());
+    std::size_t current = active[0];
+    added[current] = true;
+    order.push_back(current);
+    for (std::size_t step = 1; step < active.size(); ++step) {
+      for (const std::size_t v : active)
+        if (!added[v]) conn[v] += w[current][v];
+      std::size_t next = n;
+      Weight next_conn = 0;
+      for (const std::size_t v : active) {
+        if (!added[v] && (next == n || conn[v] > next_conn)) {
+          next = v;
+          next_conn = conn[v];
+        }
+      }
+      added[next] = true;
+      order.push_back(next);
+      current = next;
+    }
+
+    const std::size_t t = order.back();
+    const std::size_t s = order[order.size() - 2];
+    best = std::min(best, conn[t]);
+
+    // Merge t into s.
+    for (const std::size_t v : active) {
+      if (v == s || v == t) continue;
+      w[s][v] += w[t][v];
+      w[v][s] += w[v][t];
+    }
+    active.erase(std::find(active.begin(), active.end(), t));
+  }
+  return best;
+}
+
+}  // namespace lcs

@@ -1,0 +1,41 @@
+/// \file reference.h
+/// Centralized reference algorithms used to validate distributed results.
+///
+/// The distributed algorithms never call these; tests and benches use them
+/// as ground truth (paper-vs-measured comparisons are meaningless without a
+/// trusted oracle).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lcs {
+
+struct MstResult {
+  Weight total_weight = 0;
+  /// Sorted edge ids of the MST. Under the (weight, edge id) order the MST
+  /// is unique, so distributed results can be compared exactly.
+  std::vector<EdgeId> edges;
+};
+
+/// Kruskal with lexicographic (weight, edge id) comparison.
+/// Requires `g` connected.
+MstResult kruskal_mst(const Graph& g);
+
+/// Component label per node considering only edges with `edge_alive[e]`.
+/// Labels are the minimum node id in the component (stable across runs).
+std::vector<NodeId> connected_components(const Graph& g,
+                                         const std::vector<bool>& edge_alive);
+
+/// Component labels over all edges.
+std::vector<NodeId> connected_components(const Graph& g);
+
+/// Exact global minimum cut weight (Stoer–Wagner). O(n³); intended for
+/// graphs with n up to a few hundred nodes, as a test oracle.
+/// Requires `g` connected and n >= 2.
+Weight stoer_wagner_mincut(const Graph& g);
+
+}  // namespace lcs

@@ -1,0 +1,51 @@
+/// \file union_find.h
+/// Disjoint-set forest with path halving and union by size.
+/// Centralized helper used by generators, reference algorithms, and tests.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lcs {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    LCS_CHECK(x < parent_.size(), "union-find index out of range");
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the two elements were in different sets (i.e. merged).
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+  std::size_t num_components() const { return components_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace lcs

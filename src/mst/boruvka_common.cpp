@@ -1,0 +1,74 @@
+#include "mst/boruvka_common.h"
+
+#include "util/check.h"
+
+namespace lcs {
+
+StarMergeStep star_merge_step(const Graph& g, const Partition& fragments,
+                              const NeighborParts& neighbor_parts,
+                              const congest::PerNode<std::uint64_t>& mwoe,
+                              std::uint64_t seed, std::int32_t phase,
+                              std::vector<bool>& mst_edge) {
+  StarMergeStep step;
+  step.proposals.assign(static_cast<std::size_t>(g.num_nodes()),
+                        kNoCandidate);
+  step.has_outgoing.assign(static_cast<std::size_t>(g.num_nodes()), false);
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PartId mine = fragments.part(v);
+    if (mine == kNoPart) continue;
+    const std::uint64_t packed = mwoe[static_cast<std::size_t>(v)];
+    if (packed == kNoCandidate) continue;
+    step.has_outgoing[static_cast<std::size_t>(v)] = true;
+
+    // Am I the owner — the in-fragment endpoint of the fragment's MWOE?
+    const EdgeId e = candidate_edge(packed);
+    const auto& ed = g.edge(e);
+    if (ed.u != v && ed.v != v) continue;
+    const NodeId other = ed.u == v ? ed.v : ed.u;
+    const PartId target = fragments.part(other);
+    LCS_CHECK(target != mine, "fragment MWOE must leave the fragment");
+
+    // The MWOE always joins the MST (cut property).
+    mst_edge[static_cast<std::size_t>(e)] = true;
+
+    // Tail -> head merge proposal.
+    if (!is_head(seed, mine, phase) && is_head(seed, target, phase)) {
+      step.proposals[static_cast<std::size_t>(v)] =
+          static_cast<std::uint64_t>(target);
+    }
+  }
+  (void)neighbor_parts;
+  return step;
+}
+
+std::int64_t apply_merges(Partition& fragments,
+                          const congest::PerNode<std::uint64_t>& delivered) {
+  std::int64_t changed = 0;
+  for (std::size_t v = 0; v < fragments.part_of.size(); ++v) {
+    if (fragments.part_of[v] == kNoPart) continue;
+    if (delivered[v] == kNoCandidate) continue;
+    const auto head = static_cast<PartId>(delivered[v]);
+    if (fragments.part_of[v] != head) {
+      fragments.part_of[v] = head;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+DistributedMst finish_mst(const Graph& g, const std::vector<bool>& mst_edge,
+                          std::int32_t phases, std::int64_t rounds) {
+  DistributedMst result;
+  result.phases = phases;
+  result.rounds = rounds;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (mst_edge[static_cast<std::size_t>(e)]) {
+      result.edges.push_back(e);
+      result.total_weight += g.edge(e).w;
+    }
+  }
+  return result;
+}
+
+}  // namespace lcs

@@ -1,0 +1,50 @@
+/// \file boruvka_common.h
+/// The per-phase pieces every Boruvka variant shares once the fragment MWOE
+/// is known at all fragment members (by whatever aggregation mechanism the
+/// variant uses).
+///
+/// Star merges (Lemma 4's trick): each fragment flips a shared-randomness
+/// head/tail coin; a tail whose MWOE points at a head adopts the head's id.
+/// Only tails move and heads never do, so merges never chain and the new
+/// fragments stay connected. Every fragment's MWOE is recorded as an MST
+/// edge immediately (the cut property holds whether or not the merge
+/// happens this phase; with unique (weight, id) keys mutual MWOEs coincide,
+/// so marked edges are exactly the eventual merge edges).
+#pragma once
+
+#include "congest/network.h"
+#include "graph/partition.h"
+#include "mst/mwoe.h"
+#include "shortcut/superstep.h"
+
+namespace lcs {
+
+struct StarMergeStep {
+  /// proposal[v] = head fragment id to adopt, at the MWOE owner of a
+  /// merging tail fragment; kNoCandidate elsewhere. Broadcast it over the
+  /// fragment (any min mechanism) and call apply_merges.
+  congest::PerNode<std::uint64_t> proposals;
+  /// has_outgoing[v]: this node's fragment had an MWOE (for termination).
+  congest::PerNode<bool> has_outgoing;
+};
+
+/// Local decisions after the MWOE flood: identify each fragment's owner
+/// (the in-fragment endpoint of the fragment MWOE), mark the MWOE into
+/// `mst_edge`, and emit tail->head merge proposals. Zero rounds — all
+/// inputs are node-local knowledge.
+StarMergeStep star_merge_step(const Graph& g, const Partition& fragments,
+                              const NeighborParts& neighbor_parts,
+                              const congest::PerNode<std::uint64_t>& mwoe,
+                              std::uint64_t seed, std::int32_t phase,
+                              std::vector<bool>& mst_edge);
+
+/// Adopt broadcast merge proposals: members of a tail fragment switch to
+/// the head id. Returns the number of nodes that changed fragment.
+std::int64_t apply_merges(Partition& fragments,
+                          const congest::PerNode<std::uint64_t>& delivered);
+
+/// Collect the marked MST edges into a DistributedMst (weight from `g`).
+DistributedMst finish_mst(const Graph& g, const std::vector<bool>& mst_edge,
+                          std::int32_t phases, std::int64_t rounds);
+
+}  // namespace lcs

@@ -1,0 +1,21 @@
+/// \file boruvka_intra.h
+/// The no-shortcut strawman: Boruvka where fragments communicate only over
+/// their own internal edges (G[Pi]). Correct, simple — and slow: each phase
+/// costs Θ(max fragment diameter) rounds, which grows toward Θ(n) on
+/// high-diameter fragments. This is precisely the problem statement of the
+/// paper's Section 1.2, kept as a baseline for the E7/E9 benches.
+#pragma once
+
+#include "congest/network.h"
+#include "mst/mwoe.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+/// Compute the MST of `net.graph()` with intra-fragment flooding only
+/// (the spanning tree is used solely for the O(D) termination checks).
+DistributedMst mst_boruvka_intra(congest::Network& net,
+                                 const SpanningTree& tree,
+                                 std::uint64_t seed = 1);
+
+}  // namespace lcs

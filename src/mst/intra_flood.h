@@ -1,0 +1,24 @@
+/// \file intra_flood.h
+/// Min-flooding restricted to part-internal edges — the *strawman*
+/// communication scheme the paper's Section 1.2 motivates against: a part
+/// may only talk over G[Pi], so every aggregation costs Θ(part diameter)
+/// rounds. Used by the no-shortcut Boruvka baseline (and Phase A of the
+/// √n + D baseline).
+#pragma once
+
+#include "congest/network.h"
+#include "graph/partition.h"
+#include "shortcut/superstep.h"
+
+namespace lcs {
+
+/// Every part member ends with the minimum of `init` over its part's
+/// members (entries of unassigned nodes are ignored). Values flood along
+/// part-internal edges only; nodes resend on improvement, so the phase
+/// quiesces after O(max part diameter) rounds.
+congest::PerNode<std::uint64_t> intra_part_min_flood(
+    congest::Network& net, const Partition& partition,
+    const NeighborParts& neighbor_parts,
+    const congest::PerNode<std::uint64_t>& init);
+
+}  // namespace lcs

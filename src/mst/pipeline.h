@@ -1,0 +1,25 @@
+/// \file pipeline.h
+/// The classical pipelined-convergecast MST baseline (Garay–Kutten–Peleg
+/// style "Phase B"): every Boruvka phase streams all fragment MWOEs up the
+/// BFS tree in sorted order (O(D + #fragments) rounds by the standard
+/// sorted-merge pipelining argument), the root merges fragments with a
+/// local union-find, and the (fragment, new id, merge edge) triples flood
+/// back down pipelined. Full merging halves the fragment count every
+/// phase, so the total is O((n + D) + (n/2 + D) + ...) = O(n + D log n).
+///
+/// This is the strongest classical non-shortcut comparator we implement:
+/// it beats intra-fragment flooding everywhere but cannot beat Õ(D)
+/// shortcut Boruvka on low-diameter graphs — exactly the gap the paper's
+/// framework closes (benches E7/E9).
+#pragma once
+
+#include "congest/network.h"
+#include "mst/mwoe.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+/// Compute the MST of `net.graph()` with root-pipelined Boruvka phases.
+DistributedMst mst_pipeline(congest::Network& net, const SpanningTree& tree);
+
+}  // namespace lcs

@@ -1,0 +1,98 @@
+#include "shortcut/existential.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace lcs {
+
+namespace {
+
+/// Nodes ordered by decreasing depth: a bottom-up sweep order.
+std::vector<NodeId> bottom_up_order(const SpanningTree& tree) {
+  std::vector<NodeId> order(static_cast<std::size_t>(tree.num_nodes()));
+  for (NodeId v = 0; v < tree.num_nodes(); ++v)
+    order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return tree.depth[static_cast<std::size_t>(a)] >
+           tree.depth[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+Shortcut greedy_blocked_shortcut(const Graph& g, const SpanningTree& tree,
+                                 const Partition& partition,
+                                 std::int32_t threshold) {
+  LCS_CHECK(threshold >= 0, "threshold must be non-negative");
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(g.num_edges()));
+
+  // ids_below[v]: distinct part ids visible at v from below through usable
+  // edges (mirrors L_v of Algorithm 1).
+  std::vector<std::set<PartId>> ids_below(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (const NodeId v : bottom_up_order(tree)) {
+    auto& ids = ids_below[static_cast<std::size_t>(v)];
+    if (partition.part(v) != kNoPart) ids.insert(partition.part(v));
+
+    const EdgeId pe = tree.parent_edge[static_cast<std::size_t>(v)];
+    if (pe == kNoEdge) continue;
+    if (static_cast<std::int32_t>(ids.size()) > threshold) {
+      // Unusable: nothing propagates past this edge.
+      continue;
+    }
+    s.parts_on_edge[static_cast<std::size_t>(pe)] =
+        std::vector<PartId>(ids.begin(), ids.end());
+    auto& parent_ids =
+        ids_below[static_cast<std::size_t>(
+            tree.parent[static_cast<std::size_t>(v)])];
+    parent_ids.insert(ids.begin(), ids.end());
+  }
+  return s;
+}
+
+Shortcut full_ancestor_shortcut(const Graph& g, const SpanningTree& tree,
+                                const Partition& partition) {
+  // With an infinite threshold nothing is ever unusable.
+  return greedy_blocked_shortcut(g, tree, partition,
+                                 std::max(g.num_nodes(), 1));
+}
+
+std::vector<ParetoPoint> pareto_sweep(const Graph& g, const SpanningTree& tree,
+                                      const Partition& partition) {
+  std::vector<ParetoPoint> points;
+  const std::int32_t c_full =
+      congestion(g, partition, full_ancestor_shortcut(g, tree, partition));
+  for (std::int32_t threshold = 1;; threshold *= 2) {
+    const Shortcut s =
+        greedy_blocked_shortcut(g, tree, partition, threshold);
+    ParetoPoint point;
+    point.threshold = threshold;
+    point.congestion = congestion(g, partition, s);
+    point.block = block_parameter(g, partition, s);
+    points.push_back(point);
+    if (threshold >= c_full) break;
+  }
+  return points;
+}
+
+ParetoPoint best_existential_for_block(const Graph& g,
+                                       const SpanningTree& tree,
+                                       const Partition& partition,
+                                       std::int32_t b) {
+  LCS_CHECK(b >= 1, "block budget must be positive");
+  const auto points = pareto_sweep(g, tree, partition);
+  const ParetoPoint* best = nullptr;
+  for (const auto& p : points) {
+    if (p.block <= b && (best == nullptr || p.congestion < best->congestion))
+      best = &p;
+  }
+  LCS_CHECK(best != nullptr,
+            "sweep must contain a block-1 point (full ancestor)");
+  return *best;
+}
+
+}  // namespace lcs

@@ -1,0 +1,63 @@
+/// \file existential.h
+/// Centralized *existential* references: the "(c, b) shortcut that exists"
+/// side of the paper's statements.
+///
+/// Theorem 3 promises a shortcut within a log factor of the best
+/// T-restricted shortcut that *exists*. To quantify that in benches and
+/// tests we need ground truth, computed centrally (these are oracles, not
+/// protocols):
+///
+///  * `full_ancestor_shortcut` — Hi = all tree edges between Pi's nodes and
+///    the root. Block parameter exactly 1 (every subgraph contains the
+///    root); its congestion `c_full` is the largest congestion any
+///    ancestor-greedy shortcut may need.
+///  * `greedy_blocked_shortcut(threshold)` — the centralized analogue of
+///    CoreSlow: process edges bottom-up and cut an edge once more than
+///    `threshold` parts want it. Sweeping the threshold traces a
+///    congestion/block-parameter Pareto curve: the existential (c, b)
+///    pairs the constructions are measured against. With
+///    threshold >= c_full it reproduces the full-ancestor shortcut, so the
+///    curve always terminates at (c_full, 1).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/shortcut.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+/// Hi = every tree edge on a root-path of a Pi node. Block parameter 1.
+Shortcut full_ancestor_shortcut(const Graph& g, const SpanningTree& tree,
+                                const Partition& partition);
+
+/// Bottom-up ancestor assignment with an unusable threshold (centralized
+/// CoreSlow at threshold `threshold` instead of 2c). Deterministic.
+Shortcut greedy_blocked_shortcut(const Graph& g, const SpanningTree& tree,
+                                 const Partition& partition,
+                                 std::int32_t threshold);
+
+/// One point of the congestion/block trade-off curve.
+struct ParetoPoint {
+  std::int32_t threshold = 0;    ///< unusable threshold used
+  std::int32_t congestion = 0;   ///< measured congestion (Definition 1)
+  std::int32_t block = 0;        ///< measured block parameter
+};
+
+/// Evaluate greedy_blocked_shortcut on a doubling threshold ladder
+/// 1, 2, 4, ..., >= c_full. The last point always has block parameter 1.
+std::vector<ParetoPoint> pareto_sweep(const Graph& g, const SpanningTree& tree,
+                                      const Partition& partition);
+
+/// The smallest existential (c, b) with c <= threshold limit implied by the
+/// sweep for a given block budget: min congestion over sweep points with
+/// block <= b. Returns the point; requires such a point to exist (b >= 1
+/// always works via the full-ancestor point).
+ParetoPoint best_existential_for_block(const Graph& g,
+                                       const SpanningTree& tree,
+                                       const Partition& partition,
+                                       std::int32_t b);
+
+}  // namespace lcs

@@ -1,0 +1,70 @@
+/// \file find_shortcut.h
+/// The FindShortcut framework (Theorem 3) and the unknown-parameter
+/// doubling wrapper (Appendix A).
+///
+/// FindShortcut alternates a core subroutine (CoreFast by default, CoreSlow
+/// optionally) with Verification: each iteration computes a tentative
+/// shortcut whose congestion is O(c), keeps the parts whose block count is
+/// at most 3b ("good" parts, at least half of the remainder w.h.p.), and
+/// retries with the rest. After O(log N) iterations every part is fixed;
+/// the union of the fixed subgraphs has congestion O(c log N) and block
+/// parameter 3b. Whether any part remains is decided by an O(D)
+/// OR-convergecast over the tree, exactly as in Section 5.2.
+///
+/// The doubling wrapper removes the need to know (b, c): it runs trials
+/// with (b̂, ĉ) = (2^t, 2^t), declaring a trial failed when the iteration
+/// budget is exhausted, which adds a log(bc) factor — and lets the
+/// construction *discover* much better shortcuts than the theoretical bound
+/// whenever they exist (Appendix A's observation).
+#pragma once
+
+#include <optional>
+
+#include "congest/network.h"
+#include "graph/partition.h"
+#include "shortcut/representation.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+struct FindShortcutParams {
+  std::int32_t c = 1;   ///< assumed congestion of an existing shortcut
+  std::int32_t b = 1;   ///< assumed block parameter of an existing shortcut
+  bool use_fast = true; ///< CoreFast (randomized) vs CoreSlow (deterministic)
+  double gamma = 4.0;   ///< CoreFast sampling constant
+  std::uint64_t seed = 1;  ///< shared-randomness seed
+  /// Iteration cap per trial; 0 = automatic (2·log2(N) + 8).
+  std::int32_t max_iterations = 0;
+};
+
+struct FindShortcutStats {
+  std::int32_t iterations = 0;  ///< core+verify iterations actually run
+  std::int32_t trials = 1;      ///< doubling trials (1 when params known)
+  std::int32_t used_c = 0;      ///< c of the successful trial
+  std::int32_t used_b = 0;      ///< b of the successful trial
+  std::int64_t rounds = 0;      ///< CONGEST rounds consumed by the call
+};
+
+struct FindShortcutResult {
+  ShortcutState state;  ///< combined shortcut + distributed representation
+  FindShortcutStats stats;
+};
+
+/// Theorem 3: construct a T-restricted shortcut for `partition`, assuming a
+/// (c, b) shortcut exists. Throws CheckFailure if the iteration budget is
+/// exhausted (i.e. the assumption was too optimistic — use the doubling
+/// variant when unsure).
+FindShortcutResult find_shortcut(congest::Network& net,
+                                 const SpanningTree& tree,
+                                 const Partition& partition,
+                                 const FindShortcutParams& params);
+
+/// Appendix A: construct a shortcut without knowing (b, c), doubling the
+/// estimates after every failed trial. `params.c` / `params.b` seed the
+/// first trial.
+FindShortcutResult find_shortcut_doubling(congest::Network& net,
+                                          const SpanningTree& tree,
+                                          const Partition& partition,
+                                          FindShortcutParams params);
+
+}  // namespace lcs

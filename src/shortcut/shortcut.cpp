@@ -1,0 +1,252 @@
+#include "shortcut/shortcut.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "graph/union_find.h"
+#include "util/check.h"
+
+namespace lcs {
+
+bool Shortcut::edge_used_by(EdgeId e, PartId i) const {
+  const auto& list = parts_on_edge[static_cast<std::size_t>(e)];
+  return std::binary_search(list.begin(), list.end(), i);
+}
+
+std::vector<std::vector<EdgeId>> Shortcut::edges_of_parts(
+    PartId num_parts) const {
+  std::vector<std::vector<EdgeId>> result(static_cast<std::size_t>(num_parts));
+  for (EdgeId e = 0; e < static_cast<EdgeId>(parts_on_edge.size()); ++e) {
+    for (const PartId i : parts_on_edge[static_cast<std::size_t>(e)])
+      result[static_cast<std::size_t>(i)].push_back(e);
+  }
+  return result;
+}
+
+void validate_shortcut(const Graph& g, const SpanningTree& tree,
+                       const Partition& p, const Shortcut& s) {
+  LCS_CHECK(s.parts_on_edge.size() == static_cast<std::size_t>(g.num_edges()),
+            "shortcut must cover every edge id");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& list = s.parts_on_edge[static_cast<std::size_t>(e)];
+    if (!list.empty())
+      LCS_CHECK(tree.is_tree_edge(e),
+                "T-restriction violated: non-tree edge assigned");
+    LCS_CHECK(std::is_sorted(list.begin(), list.end()) &&
+                  std::adjacent_find(list.begin(), list.end()) == list.end(),
+              "part lists must be strictly increasing");
+    for (const PartId i : list)
+      LCS_CHECK(i >= 0 && i < p.num_parts, "part id out of range");
+  }
+}
+
+std::int32_t congestion(const Graph& g, const Partition& p,
+                        const Shortcut& s) {
+  std::int32_t worst = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& list = s.parts_on_edge[static_cast<std::size_t>(e)];
+    auto count = static_cast<std::int32_t>(list.size());
+    const auto& ed = g.edge(e);
+    const PartId pu = p.part(ed.u);
+    // e ∈ G[Pi] iff both endpoints belong to the same part i.
+    if (pu != kNoPart && pu == p.part(ed.v) &&
+        !std::binary_search(list.begin(), list.end(), pu)) {
+      ++count;
+    }
+    worst = std::max(worst, count);
+  }
+  return worst;
+}
+
+namespace {
+
+/// Involved nodes of part i (Pi members plus Hi endpoints), sorted unique,
+/// and Hi's edge list.
+struct PartView {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> shortcut_edges;
+  std::vector<NodeId> members;
+};
+
+PartView make_part_view(const Graph& g, const std::vector<NodeId>& members,
+                        const std::vector<EdgeId>& shortcut_edges) {
+  PartView view;
+  view.members = members;
+  view.shortcut_edges = shortcut_edges;
+  view.nodes = members;
+  for (const EdgeId e : shortcut_edges) {
+    view.nodes.push_back(g.edge(e).u);
+    view.nodes.push_back(g.edge(e).v);
+  }
+  std::sort(view.nodes.begin(), view.nodes.end());
+  view.nodes.erase(std::unique(view.nodes.begin(), view.nodes.end()),
+                   view.nodes.end());
+  return view;
+}
+
+std::size_t local_index(const std::vector<NodeId>& sorted_nodes, NodeId v) {
+  const auto it =
+      std::lower_bound(sorted_nodes.begin(), sorted_nodes.end(), v);
+  LCS_CHECK(it != sorted_nodes.end() && *it == v, "node not in part view");
+  return static_cast<std::size_t>(it - sorted_nodes.begin());
+}
+
+std::int32_t count_block_components(const Graph& g, const PartView& view) {
+  UnionFind uf(view.nodes.size());
+  for (const EdgeId e : view.shortcut_edges) {
+    uf.unite(local_index(view.nodes, g.edge(e).u),
+             local_index(view.nodes, g.edge(e).v));
+  }
+  // Count distinct components that contain a member of Pi.
+  std::vector<std::size_t> roots;
+  roots.reserve(view.members.size());
+  for (const NodeId v : view.members)
+    roots.push_back(uf.find(local_index(view.nodes, v)));
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return static_cast<std::int32_t>(roots.size());
+}
+
+/// Local adjacency of G[Pi] + Hi over view.nodes indices.
+std::vector<std::vector<std::size_t>> part_subgraph_adjacency(
+    const Graph& g, const Partition& p, PartId i, const PartView& view) {
+  std::vector<std::vector<std::size_t>> adj(view.nodes.size());
+  auto add = [&](NodeId a, NodeId b) {
+    const std::size_t la = local_index(view.nodes, a);
+    const std::size_t lb = local_index(view.nodes, b);
+    adj[la].push_back(lb);
+    adj[lb].push_back(la);
+  };
+  for (const EdgeId e : view.shortcut_edges) add(g.edge(e).u, g.edge(e).v);
+  for (const NodeId v : view.members) {
+    for (const auto& nb : g.neighbors(v)) {
+      // Each G[Pi] edge from the lower endpoint only, to avoid duplicates.
+      if (p.part(nb.node) == i && v < nb.node) add(v, nb.node);
+    }
+  }
+  return adj;
+}
+
+/// BFS in a local adjacency structure; returns distances (-1 unreachable).
+std::vector<std::int32_t> local_bfs(
+    const std::vector<std::vector<std::size_t>>& adj, std::size_t src) {
+  std::vector<std::int32_t> dist(adj.size(), -1);
+  std::deque<std::size_t> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const std::size_t w : adj[v]) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+constexpr std::int32_t kInfiniteDiameter =
+    std::numeric_limits<std::int32_t>::max();
+
+/// Exact diameter of the local subgraph; kInfiniteDiameter if disconnected.
+std::int32_t local_diameter_exact(
+    const std::vector<std::vector<std::size_t>>& adj) {
+  std::int32_t best = 0;
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    const auto dist = local_bfs(adj, v);
+    for (const std::int32_t d : dist) {
+      if (d < 0) return kInfiniteDiameter;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::int32_t local_diameter_double_sweep(
+    const std::vector<std::vector<std::size_t>>& adj) {
+  if (adj.empty()) return 0;
+  auto sweep = [&](std::size_t src) -> std::pair<std::size_t, std::int32_t> {
+    const auto dist = local_bfs(adj, src);
+    std::size_t far = src;
+    std::int32_t far_d = 0;
+    for (std::size_t v = 0; v < dist.size(); ++v) {
+      if (dist[v] < 0) return {v, kInfiniteDiameter};
+      if (dist[v] > far_d) {
+        far_d = dist[v];
+        far = v;
+      }
+    }
+    return {far, far_d};
+  };
+  const auto [far1, d1] = sweep(0);
+  if (d1 == kInfiniteDiameter) return kInfiniteDiameter;
+  return sweep(far1).second;
+}
+
+}  // namespace
+
+std::int32_t block_component_count(const Graph& g, const Partition& p,
+                                   const Shortcut& s, PartId i) {
+  LCS_CHECK(i >= 0 && i < p.num_parts, "part id out of range");
+  const auto groups = p.members();
+  const auto edges = s.edges_of_parts(p.num_parts);
+  const auto view =
+      make_part_view(g, groups[static_cast<std::size_t>(i)],
+                     edges[static_cast<std::size_t>(i)]);
+  return count_block_components(g, view);
+}
+
+std::int32_t block_parameter(const Graph& g, const Partition& p,
+                             const Shortcut& s) {
+  const auto groups = p.members();
+  const auto edges = s.edges_of_parts(p.num_parts);
+  std::int32_t worst = 0;
+  for (PartId i = 0; i < p.num_parts; ++i) {
+    const auto view =
+        make_part_view(g, groups[static_cast<std::size_t>(i)],
+                       edges[static_cast<std::size_t>(i)]);
+    worst = std::max(worst, count_block_components(g, view));
+  }
+  return worst;
+}
+
+std::int32_t dilation(const Graph& g, const Partition& p, const Shortcut& s) {
+  const auto groups = p.members();
+  const auto edges = s.edges_of_parts(p.num_parts);
+  std::int32_t worst = 0;
+  for (PartId i = 0; i < p.num_parts; ++i) {
+    const auto view =
+        make_part_view(g, groups[static_cast<std::size_t>(i)],
+                       edges[static_cast<std::size_t>(i)]);
+    const auto adj = part_subgraph_adjacency(g, p, i, view);
+    const std::int32_t d = local_diameter_exact(adj);
+    if (d == kInfiniteDiameter) return kInfiniteDiameter;
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+std::int32_t dilation_estimate(const Graph& g, const Partition& p,
+                               const Shortcut& s) {
+  const auto groups = p.members();
+  const auto edges = s.edges_of_parts(p.num_parts);
+  std::int32_t worst = 0;
+  for (PartId i = 0; i < p.num_parts; ++i) {
+    const auto view =
+        make_part_view(g, groups[static_cast<std::size_t>(i)],
+                       edges[static_cast<std::size_t>(i)]);
+    const auto adj = part_subgraph_adjacency(g, p, i, view);
+    const std::int32_t d = local_diameter_double_sweep(adj);
+    if (d == kInfiniteDiameter) return kInfiniteDiameter;
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+std::int64_t lemma1_dilation_bound(const SpanningTree& tree, std::int32_t b) {
+  return static_cast<std::int64_t>(b) * (2 * tree.height + 1);
+}
+
+}  // namespace lcs

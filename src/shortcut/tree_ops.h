@@ -1,0 +1,29 @@
+/// \file tree_ops.h
+/// Small whole-tree primitives used by the construction framework:
+///
+///  * `broadcast_word_from_root` — the root floods one word down the tree in
+///    O(D) rounds. Used to distribute the shared-randomness seed (the paper
+///    shares O(log² n) random bits in O(D + log n) rounds; our protocols
+///    need one 64-bit word, which fits a single message).
+///  * `global_or` — an OR-convergecast up the tree followed by a broadcast
+///    of the result, O(D) rounds. FindShortcut uses it as the "are any
+///    parts still unfinished?" termination check ("the check can be
+///    executed via a O(D) convergecast on the entire tree T", Section 5.2).
+#pragma once
+
+#include "congest/network.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+/// Flood `word` (known to the tree root) down all tree edges; returns the
+/// word as received by every node. O(height) rounds.
+congest::PerNode<std::uint64_t> broadcast_word_from_root(
+    congest::Network& net, const SpanningTree& tree, std::uint64_t word);
+
+/// OR of the per-node bits, computed by convergecast + broadcast on the
+/// tree so that *every node* learns the result. O(height) rounds.
+bool global_or(congest::Network& net, const SpanningTree& tree,
+               const congest::PerNode<bool>& bits);
+
+}  // namespace lcs

@@ -1,0 +1,75 @@
+/// \file tree_routing.h
+/// Pipelined routing on families of subtrees — the paper's Lemma 2.
+///
+/// Setting: a rooted spanning tree `T` of depth `D` and a family of subtrees
+/// such that every tree edge lies in at most `c` subtrees. In our encoding a
+/// subtree is a *block component*: a maximal connected set of tree edges
+/// carrying the same part id (`Shortcut::parts_on_edge`). Lemma 2 says a
+/// convergecast or broadcast on *all* subtrees in parallel finishes in
+/// `O(D + c)` rounds when messages over a contested edge are prioritized by
+/// (depth of the subtree root, subtree id).
+///
+/// Two one-phase engines are provided:
+///  * `run_component_broadcast` — each component root injects one word; it
+///    is delivered to every node of the component. Messages carry the root
+///    depth, so the Lemma 2 priority is available on arrival (this is also
+///    how the per-edge root depths of the "distributed representation" are
+///    computed in the first place).
+///  * `run_component_convergecast` — every node of a component contributes
+///    one word; an associative, commutative combiner folds them toward the
+///    component root. Upward priorities use per-edge root depths that must
+///    have been computed beforehand (see representation.h).
+///
+/// Nodes only consult local data: the ids on their incident tree edges, the
+/// per-edge priorities, and callbacks that read/write their own node's slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "congest/network.h"
+#include "shortcut/shortcut.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+/// How contested edges order their pending messages (Lemma 2 uses
+/// kRootDepth; the alternatives exist for the ablation bench A3).
+enum class RoutingPriority {
+  kRootDepth,  ///< (subtree-root depth, part id) — the paper's rule
+  kPartId,     ///< (part id) only
+  kFifo,       ///< arrival order
+};
+
+/// Broadcast one word from every block-component root to all nodes of that
+/// component.
+///
+/// `root_value(v, j)` is invoked once per component rooted at node `v` with
+/// part id `j` and returns the word to broadcast. `on_receive(v, j, value,
+/// root_depth)` fires at every node of the component, including the root
+/// itself. Returns the phase stats (rounds, messages).
+congest::PhaseStats run_component_broadcast(
+    congest::Network& net, const SpanningTree& tree, const Shortcut& shortcut,
+    const std::function<std::uint64_t(NodeId root, PartId j)>& root_value,
+    const std::function<void(NodeId v, PartId j, std::uint64_t value,
+                             std::int32_t root_depth)>& on_receive,
+    RoutingPriority priority = RoutingPriority::kRootDepth);
+
+/// Convergecast one word from every node of each block component to the
+/// component root.
+///
+/// `contribution(v, j)` is invoked once per node per incident component and
+/// returns the word that node feeds in. `combine` must be associative and
+/// commutative. `on_root_result(v, j, agg)` fires at each component root.
+/// `root_depth_on_edge` must align element-wise with
+/// `shortcut.parts_on_edge` (see representation.h).
+congest::PhaseStats run_component_convergecast(
+    congest::Network& net, const SpanningTree& tree, const Shortcut& shortcut,
+    const std::vector<std::vector<std::int32_t>>& root_depth_on_edge,
+    const std::function<std::uint64_t(NodeId v, PartId j)>& contribution,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine,
+    const std::function<void(NodeId root, PartId j, std::uint64_t agg)>&
+        on_root_result,
+    RoutingPriority priority = RoutingPriority::kRootDepth);
+
+}  // namespace lcs

@@ -1,0 +1,25 @@
+/// \file bfs_tree.h
+/// Distributed BFS-tree construction — the standard O(D)-round CONGEST
+/// subroutine the paper builds on ("Computing a BFS tree T ... is a standard
+/// subroutine and can be computed in O(D) rounds", Section 5.2).
+///
+/// Protocol: the root floods EXPLORE; on its first EXPLORE a node adopts the
+/// sender as parent, replies ACCEPT, and rejects later explorers. Echo
+/// termination: a node reports DONE to its parent once every neighbor it
+/// explored has replied and every accepting child has reported DONE, so the
+/// phase quiesces after O(D) rounds with every node knowing its parent,
+/// depth, children, and its neighbors' depths.
+#pragma once
+
+#include "congest/network.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+/// Run the distributed BFS protocol rooted at `root` on `net`'s topology.
+/// Rounds are accounted in `net`. The returned tree is assembled from the
+/// per-node protocol outputs and passes `validate_spanning_tree`.
+/// Requires the graph to be connected.
+SpanningTree build_bfs_tree(congest::Network& net, NodeId root);
+
+}  // namespace lcs

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+#include <sstream>
+
+namespace lcs::detail {
+
+void check_failed(const char* condition, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream out;
+  out << "LCS_CHECK failed: (" << condition << ") at " << file << ":" << line;
+  if (!message.empty()) out << " — " << message;
+  throw CheckFailure(out.str());
+}
+
+}  // namespace lcs::detail

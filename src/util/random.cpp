@@ -1,0 +1,83 @@
+#include "util/random.h"
+
+#include "util/check.h"
+
+namespace lcs {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::uint64_t seed, std::uint64_t key) {
+  std::uint64_t state = seed ^ (key * 0xff51afd7ed558ccdULL);
+  // Two SplitMix64 steps give full avalanche over both inputs.
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+std::uint64_t hash64(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  return hash64(hash64(seed, a), b);
+}
+
+bool hash_coin(std::uint64_t seed, std::uint64_t key, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const double u =
+      static_cast<double>(hash64(seed, key) >> 11) * 0x1.0p-53;  // [0,1)
+  return u < p;
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = splitmix64(state);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  LCS_CHECK(bound > 0, "next_below requires a positive bound");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  LCS_CHECK(lo <= hi, "next_in requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? (*this)()
+                                                  : next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace lcs

@@ -1,0 +1,64 @@
+/// \file random.h
+/// Deterministic random-number utilities.
+///
+/// Everything in the library that needs randomness takes an explicit seed so
+/// that simulations are reproducible. Two facilities live here:
+///
+///  * `Rng` — a fast xoshiro256**-based generator for centralized code
+///    (graph generators, workload construction, test sweeps).
+///  * `hash_coin` / `hash64` — stateless mixing functions that model the
+///    paper's *shared randomness*: after a seed is broadcast over the BFS
+///    tree, every node evaluates the same hash of (seed, part id, phase) and
+///    obtains the same coin without further communication.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lcs {
+
+/// SplitMix64 mixing step; also used to seed the main generator.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mixer. Used for shared-randomness coins: all nodes that
+/// know (seed, key) derive the same pseudo-random value.
+std::uint64_t hash64(std::uint64_t seed, std::uint64_t key);
+
+/// Three-argument convenience overload (e.g. (seed, part, phase)).
+std::uint64_t hash64(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+/// Shared-randomness Bernoulli coin: true with probability `p`.
+bool hash_coin(std::uint64_t seed, std::uint64_t key, double p);
+
+/// xoshiro256** pseudo-random generator. Satisfies the C++ named requirement
+/// UniformRandomBitGenerator, so it composes with <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli coin with probability p.
+  bool next_bool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lcs

@@ -1,0 +1,54 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lcs {
+
+void Summary::add(double x) { values_.push_back(x); }
+
+double Summary::sum() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+double Summary::mean() const {
+  LCS_CHECK(!values_.empty(), "mean of empty sample");
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  LCS_CHECK(!values_.empty(), "min of empty sample");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  LCS_CHECK(!values_.empty(), "max of empty sample");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::percentile(double q) const {
+  LCS_CHECK(!values_.empty(), "percentile of empty sample");
+  LCS_CHECK(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace lcs

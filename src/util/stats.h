@@ -1,0 +1,33 @@
+/// \file stats.h
+/// Small summary-statistics helper used by benches and experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lcs {
+
+/// Accumulates a sample of doubles and reports summary statistics.
+/// Percentile queries sort a copy lazily; suitable for bench-sized samples.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  /// Linear-interpolated percentile, q in [0, 100]. Requires non-empty.
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace lcs

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace lcs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LCS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  LCS_CHECK(!rows_.empty(), "call begin_row() before cell()");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    LCS_CHECK(row.size() == headers_.size(), "row/header column mismatch");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(width[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << "|" << std::string(width[c] + 2, '-');
+  out << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace lcs

@@ -1,0 +1,40 @@
+/// \file table.h
+/// Fixed-width console table printer for benches and examples.
+///
+/// The bench binaries print paper-style tables (one row per parameter point)
+/// in addition to google-benchmark counters; this helper keeps that output
+/// aligned and consistent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lcs {
+
+/// Accumulates rows of string/number cells and prints an aligned table.
+class Table {
+ public:
+  /// Column headers define the column count; every row must match it.
+  explicit Table(std::vector<std::string> headers);
+
+  Table& begin_row();
+  Table& cell(const std::string& value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  /// Doubles print with 3 significant decimals.
+  Table& cell(double value);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render to `out`. Throws if a row has the wrong number of cells.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lcs

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "apps/aggregate.h"
+#include "apps/components.h"
+#include "apps/mincut.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace lcs {
+namespace {
+
+using testutil::Sim;
+
+/// Two labelings describe the same partition iff their equivalence classes
+/// coincide.
+void expect_same_grouping(const std::vector<PartId>& ours,
+                          const std::vector<NodeId>& truth) {
+  ASSERT_EQ(ours.size(), truth.size());
+  std::map<PartId, NodeId> fwd;
+  std::map<NodeId, PartId> bwd;
+  for (std::size_t v = 0; v < ours.size(); ++v) {
+    const auto [it_f, new_f] = fwd.try_emplace(ours[v], truth[v]);
+    EXPECT_EQ(it_f->second, truth[v]) << "node " << v;
+    const auto [it_b, new_b] = bwd.try_emplace(truth[v], ours[v]);
+    EXPECT_EQ(it_b->second, ours[v]) << "node " << v;
+  }
+}
+
+TEST(Components, FullGraphIsOneComponent) {
+  const Graph g = make_grid(7, 7);
+  Sim sim(g);
+  const std::vector<bool> alive(static_cast<std::size_t>(g.num_edges()),
+                                true);
+  const auto result = distributed_components(sim.net, sim.tree, alive);
+  expect_same_grouping(result.label, connected_components(g, alive));
+}
+
+TEST(Components, RandomEdgeSubsetsAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_erdos_renyi(60, 0.06, seed);
+    Sim sim(g);
+    Rng rng(seed + 40);
+    std::vector<bool> alive(static_cast<std::size_t>(g.num_edges()));
+    for (std::size_t e = 0; e < alive.size(); ++e)
+      alive[e] = rng.next_bool(0.5);
+    const auto result =
+        distributed_components(sim.net, sim.tree, alive, seed);
+    expect_same_grouping(result.label, connected_components(g, alive));
+  }
+}
+
+TEST(Components, NoEdgesMeansSingletons) {
+  const Graph g = make_grid(5, 5);
+  Sim sim(g);
+  const std::vector<bool> alive(static_cast<std::size_t>(g.num_edges()),
+                                false);
+  const auto result = distributed_components(sim.net, sim.tree, alive);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId w = v + 1; w < g.num_nodes(); ++w)
+      EXPECT_NE(result.label[static_cast<std::size_t>(v)],
+                result.label[static_cast<std::size_t>(w)]);
+}
+
+TEST(Mincut, CycleEstimateNearTwo) {
+  // λ(cycle) = 2: the estimate must land within the O(log n) guarantee.
+  const Graph g = make_cycle(64);
+  Sim sim(g);
+  const auto result = approx_mincut(sim.net, sim.tree, 5);
+  EXPECT_GE(result.estimate, 1u);
+  EXPECT_LE(result.estimate, 64u);  // 2 * factor 32 >> log n slack
+}
+
+TEST(Mincut, EstimateGrowsWithConnectivity) {
+  // A sparse cycle (λ=2) against a dense ER graph (λ ~ np): the dense graph
+  // must produce a clearly larger estimate, with the exact value checked
+  // against Stoer–Wagner's O(log n) window.
+  const Graph sparse = make_cycle(60);
+  const Graph dense = make_erdos_renyi(60, 0.4, 3);
+  Sim sim_s(sparse), sim_d(dense);
+  const auto est_s = approx_mincut(sim_s.net, sim_s.tree, 7);
+  const auto est_d = approx_mincut(sim_d.net, sim_d.tree, 7);
+  EXPECT_GT(est_d.estimate, est_s.estimate);
+
+  const double lambda_d =
+      static_cast<double>(stoer_wagner_mincut(dense));
+  const double ratio = static_cast<double>(est_d.estimate) / lambda_d;
+  const double log_n = std::log2(60.0);
+  EXPECT_GE(ratio, 1.0 / (4.0 * log_n));
+  EXPECT_LE(ratio, 4.0 * log_n);
+}
+
+TEST(Aggregate, MinAndLeaderAndBroadcast) {
+  const Graph g = make_grid(8, 8);
+  Sim sim(g);
+  const auto p = make_grid_rows_partition(8, 8, 2);
+  PartAggregator agg(sim.net, sim.tree, p);
+
+  // min
+  congest::PerNode<std::uint64_t> values(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    values[static_cast<std::size_t>(v)] =
+        1000 - static_cast<std::uint64_t>(v);
+  const auto mins = agg.min(values);
+  const auto groups = p.members();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& members = groups[static_cast<std::size_t>(p.part(v))];
+    EXPECT_EQ(mins[static_cast<std::size_t>(v)],
+              1000 - static_cast<std::uint64_t>(members.back()));
+  }
+
+  // leaders
+  const auto leaders = agg.leaders();
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(leaders[static_cast<std::size_t>(v)],
+              groups[static_cast<std::size_t>(p.part(v))].front());
+
+  // broadcast from leaders
+  congest::PerNode<std::uint64_t> source(
+      static_cast<std::size_t>(g.num_nodes()), kNoValue);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (leaders[static_cast<std::size_t>(v)] == v)
+      source[static_cast<std::size_t>(v)] =
+          static_cast<std::uint64_t>(p.part(v)) * 7 + 1;
+  const auto delivered = agg.broadcast(source);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(delivered[static_cast<std::size_t>(v)],
+              static_cast<std::uint64_t>(p.part(v)) * 7 + 1);
+}
+
+TEST(Aggregate, WheelArcsFastAggregation) {
+  // The quickstart scenario: huge-diameter arcs, tiny-diameter wheel.
+  const NodeId n = 129;
+  const Graph g = make_wheel(n);
+  Sim sim(g, n - 1);
+  const auto p = make_cycle_arcs_partition(n, 4);
+  PartAggregator agg(sim.net, sim.tree, p);
+
+  const std::int64_t before = sim.net.total_rounds();
+  agg.leaders();
+  // One aggregation is far cheaper than any arc diameter (~32).
+  EXPECT_LT(sim.net.total_rounds() - before, 30);
+}
+
+}  // namespace
+}  // namespace lcs

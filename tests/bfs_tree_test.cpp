@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "tree/bfs_tree.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+namespace {
+
+void expect_bfs_tree_correct(const Graph& g, NodeId root) {
+  congest::Network net(g);
+  const SpanningTree tree = build_bfs_tree(net, root);
+  validate_spanning_tree(g, tree);
+
+  // Depths must equal true hop distances (BFS optimality).
+  const auto dist = bfs_distances(g, root);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              dist[static_cast<std::size_t>(v)])
+        << "node " << v;
+
+  // Rounds: the protocol is O(D) — explore wave + replies + echo.
+  const std::int32_t ecc = *std::max_element(dist.begin(), dist.end());
+  EXPECT_LE(net.total_rounds(), 4 * (ecc + 2)) << "BFS took too many rounds";
+}
+
+TEST(BfsTree, Path) { expect_bfs_tree_correct(make_path(20), 0); }
+
+TEST(BfsTree, PathFromMiddle) { expect_bfs_tree_correct(make_path(21), 10); }
+
+TEST(BfsTree, Cycle) { expect_bfs_tree_correct(make_cycle(17), 3); }
+
+TEST(BfsTree, Grid) { expect_bfs_tree_correct(make_grid(9, 7), 0); }
+
+TEST(BfsTree, Torus) { expect_bfs_tree_correct(make_torus(6, 8), 5); }
+
+TEST(BfsTree, SingleNode) { expect_bfs_tree_correct(make_path(1), 0); }
+
+TEST(BfsTree, TwoNodes) { expect_bfs_tree_correct(make_path(2), 1); }
+
+TEST(BfsTree, RandomGraphsAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    expect_bfs_tree_correct(make_erdos_renyi(120, 0.04, seed), 0);
+  }
+}
+
+TEST(BfsTree, RandomTreesAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    expect_bfs_tree_correct(make_random_tree(150, seed),
+                            static_cast<NodeId>(seed * 7 % 150));
+  }
+}
+
+TEST(BfsTree, LowerBoundGraph) {
+  expect_bfs_tree_correct(make_lower_bound_graph(10, 10), 0);
+}
+
+TEST(BfsTree, DeterministicAcrossRuns) {
+  const Graph g = make_erdos_renyi(80, 0.06, 5);
+  congest::Network net1(g), net2(g);
+  const SpanningTree t1 = build_bfs_tree(net1, 0);
+  const SpanningTree t2 = build_bfs_tree(net2, 0);
+  EXPECT_EQ(t1.parent, t2.parent);
+  EXPECT_EQ(t1.depth, t2.depth);
+  EXPECT_EQ(net1.total_rounds(), net2.total_rounds());
+}
+
+TEST(BfsTree, HeightEqualsRootEccentricity) {
+  const Graph g = make_grid(8, 8);
+  congest::Network net(g);
+  const SpanningTree tree = build_bfs_tree(net, 0);
+  EXPECT_EQ(tree.height, 14);  // corner-to-corner
+}
+
+TEST(ReferenceBfs, AgreesWithDistributedDepths) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_erdos_renyi(60, 0.08, seed);
+    congest::Network net(g);
+    const SpanningTree dist_tree = build_bfs_tree(net, 2);
+    const SpanningTree ref_tree = reference_bfs_tree(g, 2);
+    validate_spanning_tree(g, ref_tree);
+    EXPECT_EQ(dist_tree.depth, ref_tree.depth);
+    EXPECT_EQ(dist_tree.height, ref_tree.height);
+  }
+}
+
+}  // namespace
+}  // namespace lcs

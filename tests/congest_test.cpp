@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "util/check.h"
+
+namespace lcs {
+namespace {
+
+using congest::Context;
+using congest::Incoming;
+using congest::Message;
+using congest::Network;
+using congest::PhaseStats;
+using congest::Process;
+
+/// Floods a token from node 0; records the round each node first hears it.
+class FloodProcess final : public Process {
+ public:
+  explicit FloodProcess(NodeId id) : id_(id) {}
+  std::int64_t heard_round = -1;
+
+  void on_start(Context& ctx) override {
+    if (id_ != 0) return;
+    heard_round = 0;
+    for (const auto& nb : ctx.neighbors()) ctx.send(nb.edge, Message(1));
+  }
+
+  void on_round(Context& ctx, std::span<const Incoming> inbox) override {
+    if (heard_round >= 0 || inbox.empty()) return;
+    heard_round = ctx.round() + 1;  // distance = delivery round + 1
+    for (const auto& nb : ctx.neighbors()) {
+      const bool from_sender =
+          std::any_of(inbox.begin(), inbox.end(),
+                      [&](const Incoming& in) { return in.edge == nb.edge; });
+      if (!from_sender) ctx.send(nb.edge, Message(1));
+    }
+  }
+
+ private:
+  NodeId id_;
+};
+
+TEST(Network, FloodTakesEccentricityRounds) {
+  const Graph g = make_path(10);
+  Network net(g);
+  std::vector<FloodProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+  const PhaseStats stats = congest::run_phase(net, procs);
+  // Token reaches node 9 after 9 rounds.
+  EXPECT_EQ(procs[9].heard_round, 9);
+  EXPECT_EQ(stats.rounds, 9);
+  EXPECT_EQ(stats.messages, 9);
+  EXPECT_EQ(net.total_rounds(), 9);
+}
+
+TEST(Network, FloodDistanceMatchesBfsOnGrid) {
+  const Graph g = make_grid(5, 5);
+  Network net(g);
+  std::vector<FloodProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+  congest::run_phase(net, procs);
+  // Node (4,4) = id 24 is 8 hops from node 0.
+  EXPECT_EQ(procs[24].heard_round, 8);
+}
+
+/// Sends two messages over the same edge in one round — must be rejected.
+class DoubleSendProcess final : public Process {
+ public:
+  explicit DoubleSendProcess(NodeId id) : id_(id) {}
+  void on_start(Context& ctx) override {
+    if (id_ != 0) return;
+    ctx.send(ctx.neighbors().front().edge, Message(1));
+    ctx.send(ctx.neighbors().front().edge, Message(2));
+  }
+  void on_round(Context&, std::span<const Incoming>) override {}
+
+ private:
+  NodeId id_;
+};
+
+TEST(Network, RejectsTwoSendsOnOneEdgePerRound) {
+  const Graph g = make_path(2);
+  Network net(g);
+  std::vector<DoubleSendProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+  EXPECT_THROW(congest::run_phase(net, procs), CheckFailure);
+}
+
+/// Both directions of one edge in the same round are fine.
+class PingPongProcess final : public Process {
+ public:
+  explicit PingPongProcess(NodeId id) : id_(id) {}
+  int received = 0;
+  void on_start(Context& ctx) override {
+    ctx.send(ctx.neighbors().front().edge, Message(7));
+  }
+  void on_round(Context&, std::span<const Incoming> inbox) override {
+    received += static_cast<int>(inbox.size());
+  }
+
+ private:
+  NodeId id_;
+};
+
+TEST(Network, BothDirectionsOfAnEdgeAreIndependent) {
+  const Graph g = make_path(2);
+  Network net(g);
+  std::vector<PingPongProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+  const PhaseStats stats = congest::run_phase(net, procs);
+  EXPECT_EQ(procs[0].received, 1);
+  EXPECT_EQ(procs[1].received, 1);
+  EXPECT_EQ(stats.messages, 2);
+}
+
+/// Sends over an edge not incident to the sender.
+class ForeignEdgeProcess final : public Process {
+ public:
+  explicit ForeignEdgeProcess(NodeId id) : id_(id) {}
+  void on_start(Context& ctx) override {
+    if (id_ == 0) ctx.send(1, Message(1));  // edge 1 connects nodes 1-2
+  }
+  void on_round(Context&, std::span<const Incoming>) override {}
+
+ private:
+  NodeId id_;
+};
+
+TEST(Network, RejectsNonIncidentSend) {
+  const Graph g = make_path(3);
+  Network net(g);
+  std::vector<ForeignEdgeProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+  EXPECT_THROW(congest::run_phase(net, procs), CheckFailure);
+}
+
+/// Wakes itself k times without any messages.
+class SelfWakeProcess final : public Process {
+ public:
+  explicit SelfWakeProcess(NodeId id) : id_(id) {}
+  int invocations = 0;
+  void on_start(Context& ctx) override {
+    if (id_ == 0) ctx.wake_next_round();
+  }
+  void on_round(Context& ctx, std::span<const Incoming> inbox) override {
+    EXPECT_TRUE(inbox.empty());
+    ++invocations;
+    if (invocations < 3) ctx.wake_next_round();
+  }
+
+ private:
+  NodeId id_;
+};
+
+TEST(Network, WakeupsDriveRoundsWithoutMessages) {
+  const Graph g = make_path(2);
+  Network net(g);
+  std::vector<SelfWakeProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+  const PhaseStats stats = congest::run_phase(net, procs);
+  EXPECT_EQ(procs[0].invocations, 3);
+  EXPECT_EQ(stats.rounds, 3);
+  EXPECT_EQ(stats.messages, 0);
+}
+
+/// Never stops waking itself: must trip the round limit.
+class LivelockProcess final : public Process {
+ public:
+  void on_start(Context& ctx) override { ctx.wake_next_round(); }
+  void on_round(Context& ctx, std::span<const Incoming>) override {
+    ctx.wake_next_round();
+  }
+};
+
+TEST(Network, RoundLimitCatchesNonQuiescence) {
+  const Graph g = make_path(2);
+  Network net(g);
+  std::vector<LivelockProcess> procs(2);
+  EXPECT_THROW(congest::run_phase(net, procs, /*max_rounds=*/100),
+               CheckFailure);
+}
+
+TEST(Network, ChargedRoundsAccumulateWithLabels) {
+  const Graph g = make_path(2);
+  Network net(g);
+  net.charge(5, "seed-broadcast");
+  net.charge(3, "termination");
+  net.charge(2, "seed-broadcast");
+  EXPECT_EQ(net.total_rounds(), 10);
+  EXPECT_EQ(net.charged_rounds().at("seed-broadcast"), 7);
+  EXPECT_EQ(net.charged_rounds().at("termination"), 3);
+  net.reset_accounting();
+  EXPECT_EQ(net.total_rounds(), 0);
+  EXPECT_TRUE(net.charged_rounds().empty());
+}
+
+TEST(Network, AccountingAccumulatesAcrossPhases) {
+  const Graph g = make_path(4);
+  Network net(g);
+  for (int phase = 0; phase < 3; ++phase) {
+    std::vector<FloodProcess> procs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+    congest::run_phase(net, procs);
+  }
+  EXPECT_EQ(net.total_rounds(), 3 * 3);
+  EXPECT_EQ(net.total_messages(), 3 * 3);
+}
+
+TEST(Message, PayloadIsBounded) {
+  // Compile-time guarantee that a message cannot grow beyond O(log n) bits:
+  // the payload is a fixed array of words.
+  static_assert(Message::kMaxWords == 3);
+  static_assert(sizeof(Message::words) == 3 * sizeof(std::uint64_t));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lcs

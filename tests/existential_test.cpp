@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "shortcut/existential.h"
+#include "shortcut/shortcut.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+namespace {
+
+TEST(Existential, FullAncestorHasBlockParameterOne) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_erdos_renyi(60, 0.07, seed);
+    const SpanningTree tree = reference_bfs_tree(g, 0);
+    const auto p = make_random_bfs_partition(g, 7, seed);
+    const Shortcut s = full_ancestor_shortcut(g, tree, p);
+    validate_shortcut(g, tree, p, s);
+    // Every subgraph contains the root, so it is one connected block.
+    EXPECT_EQ(block_parameter(g, p, s), 1);
+  }
+}
+
+TEST(Existential, FullAncestorCoversRootPaths) {
+  // Path rooted at 0 with one part at the far end: every edge on the way
+  // must be assigned to it.
+  const Graph g = make_path(6);
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  Partition p;
+  p.num_parts = 1;
+  p.part_of = {kNoPart, kNoPart, kNoPart, kNoPart, 0, 0};
+  const Shortcut s = full_ancestor_shortcut(g, tree, p);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_TRUE(s.edge_used_by(e, 0)) << "edge " << e;
+}
+
+TEST(Existential, GreedyRespectsThreshold) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_grid(8, 8);
+    const SpanningTree tree = reference_bfs_tree(g, 0);
+    const auto p = make_random_bfs_partition(g, 10, seed);
+    for (const std::int32_t threshold : {1, 2, 5}) {
+      const Shortcut s = greedy_blocked_shortcut(g, tree, p, threshold);
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        EXPECT_LE(static_cast<std::int32_t>(
+                      s.parts_on_edge[static_cast<std::size_t>(e)].size()),
+                  threshold);
+      }
+    }
+  }
+}
+
+TEST(Existential, ZeroThresholdAssignsNothing) {
+  const Graph g = make_grid(5, 5);
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  const auto p = make_random_bfs_partition(g, 4, 1);
+  const Shortcut s = greedy_blocked_shortcut(g, tree, p, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    EXPECT_TRUE(s.parts_on_edge[static_cast<std::size_t>(e)].empty());
+}
+
+TEST(Existential, BlockParameterDecreasesAlongSweep) {
+  // Raising the threshold can only help: the sweep's block parameter is
+  // non-increasing and ends at 1 (the full-ancestor point).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = make_erdos_renyi(80, 0.05, seed);
+    const SpanningTree tree = reference_bfs_tree(g, 0);
+    const auto p = make_random_bfs_partition(g, 12, seed + 7);
+    const auto points = pareto_sweep(g, tree, p);
+    ASSERT_FALSE(points.empty());
+    for (std::size_t k = 1; k < points.size(); ++k)
+      EXPECT_LE(points[k].block, points[k - 1].block) << "seed " << seed;
+    EXPECT_EQ(points.back().block, 1);
+  }
+}
+
+TEST(Existential, SweepCongestionBoundedByThreshold) {
+  const Graph g = make_grid(10, 10);
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  const auto p = make_random_bfs_partition(g, 15, 3);
+  for (const auto& point : pareto_sweep(g, tree, p)) {
+    // Definition-1 congestion also counts the part owning both endpoints,
+    // hence the +1.
+    EXPECT_LE(point.congestion, point.threshold + 1);
+  }
+}
+
+TEST(Existential, BestForBlockPicksCheapestPoint) {
+  const Graph g = make_grid(9, 9);
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  const auto p = make_grid_rows_partition(9, 9, 1);
+  const auto loose = best_existential_for_block(g, tree, p, 1000);
+  const auto tight = best_existential_for_block(g, tree, p, 1);
+  EXPECT_LE(loose.congestion, tight.congestion);
+  EXPECT_LE(loose.block, 1000);
+  EXPECT_EQ(tight.block, 1);
+}
+
+TEST(Existential, WheelAdmitsPerfectShortcut) {
+  // On the wheel graph rooted at the hub, arcs get (c, b) = (1, 1): each
+  // arc's ancestor edges are its own hub spokes.
+  const NodeId n = 65;
+  const Graph g = make_wheel(n);
+  const SpanningTree tree = reference_bfs_tree(g, n - 1);  // root = hub
+  const auto p = make_cycle_arcs_partition(n, 8);
+  const auto best = best_existential_for_block(g, tree, p, 1);
+  EXPECT_EQ(best.block, 1);
+  EXPECT_LE(best.congestion, 2);
+}
+
+TEST(Existential, LowerBoundGraphHasNoCheapShortcut) {
+  // On the Peleg–Rubinovich graph, congestion + block*depth must be large:
+  // at block budget 1 every path floods the tree, congesting root edges by
+  // ~num_paths.
+  const NodeId k = 12;
+  const Graph g = make_lower_bound_graph(k, k);
+  const SpanningTree tree = reference_bfs_tree(g, g.num_nodes() - 1);
+  const auto p = make_lower_bound_partition(k, k, g.num_nodes());
+  const auto best = best_existential_for_block(g, tree, p, 1);
+  EXPECT_GE(best.congestion, k / 2);
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "shortcut/existential.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/shortcut.h"
+#include "test_util.h"
+
+namespace lcs {
+namespace {
+
+using testutil::Sim;
+
+/// End-to-end checks of Theorem 3's guarantees for a given scenario:
+/// validity, block parameter <= 3b, congestion <= O(c log N).
+void expect_theorem3(const Graph& g, const Partition& p,
+                     const FindShortcutParams& params) {
+  Sim setup(g);
+  const FindShortcutResult result =
+      find_shortcut(setup.net, setup.tree, p, params);
+  const Shortcut& s = result.state.shortcut;
+  validate_shortcut(g, setup.tree, p, s);
+
+  EXPECT_LE(block_parameter(g, p, s), 3 * params.b);
+  // Congestion: at most (8c + 1) per iteration (CoreFast), 2c+1 (CoreSlow).
+  const std::int32_t per_iter = params.use_fast ? 8 * params.c : 2 * params.c;
+  EXPECT_LE(congestion(g, p, s),
+            result.stats.iterations * per_iter + 1);
+  // Iterations: O(log N) with decent slack.
+  const double log_n = std::log2(std::max<double>(2.0, p.num_parts));
+  EXPECT_LE(result.stats.iterations, static_cast<std::int32_t>(2 * log_n) + 8);
+}
+
+TEST(FindShortcut, GridWithRowPartsKnownParams) {
+  const Graph g = make_grid(10, 10);
+  const auto p = make_grid_rows_partition(10, 10, 2);
+  // Existential parameters measured centrally.
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  const auto point = best_existential_for_block(g, tree, p, 4);
+  FindShortcutParams params;
+  params.c = std::max(point.congestion, 1);
+  params.b = point.block;
+  expect_theorem3(g, p, params);
+}
+
+TEST(FindShortcut, RandomGraphsAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_erdos_renyi(90, 0.05, seed);
+    const auto p = make_random_bfs_partition(g, 10, seed + 3);
+    const SpanningTree tree = reference_bfs_tree(g, 0);
+    const auto point = best_existential_for_block(g, tree, p, 4);
+    FindShortcutParams params;
+    params.c = std::max(point.congestion, 1);
+    params.b = point.block;
+    params.seed = seed + 11;
+    expect_theorem3(g, p, params);
+  }
+}
+
+TEST(FindShortcut, CoreSlowVariantIsDeterministic) {
+  const Graph g = make_grid(8, 8);
+  const auto p = make_random_bfs_partition(g, 8, 2);
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  const auto point = best_existential_for_block(g, tree, p, 4);
+  FindShortcutParams params;
+  params.c = std::max(point.congestion, 1);
+  params.b = point.block;
+  params.use_fast = false;
+  expect_theorem3(g, p, params);
+
+  Sim s1(g), s2(g);
+  const auto r1 = find_shortcut(s1.net, s1.tree, p, params);
+  const auto r2 = find_shortcut(s2.net, s2.tree, p, params);
+  EXPECT_EQ(r1.state.shortcut.parts_on_edge, r2.state.shortcut.parts_on_edge);
+  EXPECT_EQ(s1.net.total_rounds(), s2.net.total_rounds());
+}
+
+TEST(FindShortcut, ThrowsWhenBudgetTooSmall) {
+  // A hard instance with (c, b) = (1, 1) assumed: the lower-bound graph
+  // cannot satisfy everyone at congestion O(1) and 3 blocks.
+  const NodeId k = 8;
+  const Graph g = make_lower_bound_graph(k, k);
+  const auto p = make_lower_bound_partition(k, k, g.num_nodes());
+  Sim setup(g, g.num_nodes() - 1);
+  FindShortcutParams params;
+  params.c = 1;
+  params.b = 1;
+  params.max_iterations = 6;
+  EXPECT_THROW(find_shortcut(setup.net, setup.tree, p, params), CheckFailure);
+}
+
+TEST(FindShortcutDoubling, ConvergesWithoutKnownParameters) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = make_grid(9, 9);
+    const auto p = make_random_bfs_partition(g, 9, seed);
+    Sim setup(g);
+    FindShortcutParams params;
+    params.seed = seed;
+    const auto result =
+        find_shortcut_doubling(setup.net, setup.tree, p, params);
+    validate_shortcut(g, setup.tree, p, result.state.shortcut);
+    EXPECT_GE(result.stats.trials, 1);
+    EXPECT_LE(block_parameter(g, p, result.state.shortcut),
+              3 * result.stats.used_b);
+  }
+}
+
+TEST(FindShortcutDoubling, FindsBetterThanTheoryOnWheel) {
+  // Appendix A's observation: doubling discovers the (c, b) = (2, 1)-ish
+  // wheel shortcut immediately, far below any genus-based bound.
+  const NodeId n = 101;
+  const Graph g = make_wheel(n);
+  const auto p = make_cycle_arcs_partition(n, 10);
+  Sim setup(g, n - 1);
+  FindShortcutParams params;
+  const auto result = find_shortcut_doubling(setup.net, setup.tree, p, params);
+  EXPECT_LE(result.stats.used_c, 4);
+  EXPECT_LE(congestion(g, p, result.state.shortcut), 16);
+  EXPECT_LE(block_parameter(g, p, result.state.shortcut), 3);
+}
+
+TEST(FindShortcutDoubling, HandlesLowerBoundGraph) {
+  // Even the pathological instance terminates — with proportionally larger
+  // discovered parameters.
+  const NodeId k = 8;
+  const Graph g = make_lower_bound_graph(k, k);
+  const auto p = make_lower_bound_partition(k, k, g.num_nodes());
+  Sim setup(g, g.num_nodes() - 1);
+  FindShortcutParams params;
+  const auto result = find_shortcut_doubling(setup.net, setup.tree, p, params);
+  validate_shortcut(g, setup.tree, p, result.state.shortcut);
+  EXPECT_LE(block_parameter(g, p, result.state.shortcut),
+            3 * result.stats.used_b);
+}
+
+TEST(FindShortcut, SinglePartWholeGraph) {
+  const Graph g = make_grid(6, 6);
+  const auto p = make_whole_graph_partition(g.num_nodes());
+  Sim setup(g);
+  FindShortcutParams params;
+  params.c = 1;
+  params.b = 1;
+  const auto result = find_shortcut(setup.net, setup.tree, p, params);
+  validate_shortcut(g, setup.tree, p, result.state.shortcut);
+  EXPECT_LE(block_parameter(g, p, result.state.shortcut), 3);
+}
+
+TEST(FindShortcut, SingletonPartsAreTriviallySatisfied) {
+  const Graph g = make_grid(6, 6);
+  const auto p = make_singleton_partition(g.num_nodes());
+  Sim setup(g);
+  FindShortcutParams params;
+  params.c = 1;
+  params.b = 1;
+  const auto result = find_shortcut(setup.net, setup.tree, p, params);
+  // Every part is one node: one block component, done in one iteration.
+  EXPECT_EQ(result.stats.iterations, 1);
+  EXPECT_LE(block_parameter(g, p, result.state.shortcut), 3);
+}
+
+}  // namespace
+}  // namespace lcs

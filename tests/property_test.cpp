@@ -1,0 +1,195 @@
+/// \file property_test.cpp
+/// Parameterized end-to-end property sweeps: for every (family, partition,
+/// seed) combination, the full FindShortcut pipeline must satisfy Theorem
+/// 3's guarantees, the routing primitives must agree with centralized
+/// oracles, and the accounting must be consistent. These are the
+/// "invariant" tests — they assert *properties*, not specific values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/reference.h"
+#include "shortcut/existential.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/part_routing.h"
+#include "shortcut/shortcut.h"
+#include "shortcut/superstep.h"
+#include "test_util.h"
+
+namespace lcs {
+namespace {
+
+using testutil::Sim;
+
+struct Scenario {
+  std::string name;
+  Graph graph;
+  Partition partition;
+  NodeId root;
+};
+
+Scenario make_scenario(const std::string& family, std::uint64_t seed) {
+  if (family == "grid-blobs") {
+    Graph g = make_grid(14, 14);
+    auto p = make_random_bfs_partition(g, 12, seed);
+    return {family, std::move(g), std::move(p), 0};
+  }
+  if (family == "grid-rows") {
+    Graph g = make_grid(16, 12);
+    auto p = make_grid_rows_partition(16, 12, 2);
+    return {family, std::move(g), std::move(p), 0};
+  }
+  if (family == "grid-snake") {
+    Graph g = make_grid(12, 12);
+    auto p = make_snake_partition(12, 12, 6);
+    return {family, std::move(g), std::move(p), 0};
+  }
+  if (family == "torus") {
+    Graph g = make_torus(12, 12);
+    auto p = make_random_bfs_partition(g, 10, seed);
+    return {family, std::move(g), std::move(p), 0};
+  }
+  if (family == "genus4") {
+    Graph g = make_genus_grid(12, 12, 4, seed);
+    auto p = make_forest_split_partition(g, 9, seed + 1);
+    return {family, std::move(g), std::move(p), 0};
+  }
+  if (family == "erdos-renyi") {
+    Graph g = make_erdos_renyi(150, 0.03, seed);
+    auto p = make_random_bfs_partition(g, 12, seed + 2);
+    return {family, std::move(g), std::move(p), 0};
+  }
+  if (family == "wheel-arcs") {
+    Graph g = make_wheel(161);
+    auto p = make_cycle_arcs_partition(161, 8);
+    return {family, std::move(g), std::move(p), 160};
+  }
+  if (family == "lower-bound") {
+    Graph g = make_lower_bound_graph(8, 8);
+    auto p = make_lower_bound_partition(8, 8, g.num_nodes());
+    return {family, std::move(g), std::move(p), g.num_nodes() - 1};
+  }
+  if (family == "maze") {
+    Graph g = make_random_maze(14, 14, 0.3, seed);
+    auto p = make_random_bfs_partition(g, 10, seed + 3);
+    return {family, std::move(g), std::move(p), 0};
+  }
+  ADD_FAILURE() << "unknown family " << family;
+  return {family, make_path(2), make_whole_graph_partition(2), 0};
+}
+
+class PipelineProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(PipelineProperty, Theorem3EndToEnd) {
+  const auto& [family, seed] = GetParam();
+  Scenario sc = make_scenario(family, seed);
+  validate_partition(sc.graph, sc.partition);
+
+  Sim sim(sc.graph, sc.root);
+  FindShortcutParams params;
+  params.seed = seed + 1000;
+  const FindShortcutResult found =
+      find_shortcut_doubling(sim.net, sim.tree, sc.partition, params);
+
+  // Structure.
+  validate_shortcut(sc.graph, sim.tree, sc.partition, found.state.shortcut);
+
+  // Block budget (Theorem 3).
+  const std::int32_t b =
+      block_parameter(sc.graph, sc.partition, found.state.shortcut);
+  EXPECT_LE(b, 3 * found.stats.used_b);
+
+  // Congestion within O(log N) of the used budget.
+  const std::int32_t c =
+      congestion(sc.graph, sc.partition, found.state.shortcut);
+  const double log_n =
+      std::log2(std::max<double>(2.0, sc.partition.num_parts));
+  EXPECT_LE(c, (8 * found.stats.used_c + 1) *
+                   (static_cast<std::int32_t>(2 * log_n) + 8));
+
+  // Lemma 1: dilation bounded (and finite — every subgraph connected).
+  const std::int32_t d =
+      dilation_estimate(sc.graph, sc.partition, found.state.shortcut);
+  ASSERT_NE(d, std::numeric_limits<std::int32_t>::max());
+  EXPECT_LE(d, lemma1_dilation_bound(sim.tree, b));
+
+  // Theorem 2 on the result: leaders are part minima.
+  const NeighborParts nb = exchange_neighbor_parts(sim.net, sc.partition);
+  const auto leaders =
+      elect_part_leaders(sim.net, sim.tree, sc.partition, found.state, nb,
+                         3 * found.stats.used_b);
+  const auto groups = sc.partition.members();
+  for (NodeId v = 0; v < sc.graph.num_nodes(); ++v) {
+    const PartId j = sc.partition.part(v);
+    if (j == kNoPart) continue;
+    EXPECT_EQ(leaders[static_cast<std::size_t>(v)],
+              groups[static_cast<std::size_t>(j)].front());
+  }
+
+  // Accounting sanity: rounds and messages were actually consumed and the
+  // charged labels are a subset of the totals.
+  EXPECT_GT(sim.net.total_rounds(), 0);
+  EXPECT_GT(sim.net.total_messages(), 0);
+  std::int64_t charged = 0;
+  for (const auto& [label, rounds] : sim.net.charged_rounds())
+    charged += rounds;
+  EXPECT_LE(charged, sim.net.total_rounds());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PipelineProperty,
+    ::testing::Combine(
+        ::testing::Values("grid-blobs", "grid-rows", "grid-snake", "torus",
+                          "genus4", "erdos-renyi", "wheel-arcs",
+                          "lower-bound", "maze"),
+        ::testing::Values(1ULL, 2ULL, 3ULL)),
+    [](const ::testing::TestParamInfo<PipelineProperty::ParamType>& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+class ExistentialProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(ExistentialProperty, GreedyGeometryInvariants) {
+  const auto& [family, seed] = GetParam();
+  Scenario sc = make_scenario(family, seed);
+  const SpanningTree tree = reference_bfs_tree(sc.graph, sc.root);
+
+  const auto points = pareto_sweep(sc.graph, tree, sc.partition);
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.back().block, 1);
+  for (const auto& point : points) {
+    // The greedy result is a valid shortcut with threshold-bounded lists.
+    const Shortcut s =
+        greedy_blocked_shortcut(sc.graph, tree, sc.partition, point.threshold);
+    validate_shortcut(sc.graph, tree, sc.partition, s);
+    EXPECT_LE(point.congestion, point.threshold + 1);
+    // Lemma 1 holds for every sweep point too.
+    const std::int32_t d = dilation_estimate(sc.graph, sc.partition, s);
+    if (d != std::numeric_limits<std::int32_t>::max())
+      EXPECT_LE(d, lemma1_dilation_bound(tree, point.block));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ExistentialProperty,
+    ::testing::Combine(::testing::Values("grid-blobs", "torus", "genus4",
+                                         "erdos-renyi", "lower-bound"),
+                       ::testing::Values(5ULL, 6ULL)),
+    [](const ::testing::TestParamInfo<ExistentialProperty::ParamType>& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace lcs

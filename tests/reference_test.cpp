@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/union_find.h"
+#include "util/random.h"
+
+namespace lcs {
+namespace {
+
+TEST(UnionFindTest, MergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.component_size(1), 2u);
+}
+
+TEST(Kruskal, PathMstIsWholePath) {
+  const Graph g = make_path(6);
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.edges.size(), 5u);
+  EXPECT_EQ(mst.total_weight, 5u);
+}
+
+TEST(Kruskal, PicksCheapEdges) {
+  // Triangle with one heavy edge: MST must skip it.
+  Graph g(3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 100}});
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.total_weight, 2u);
+  EXPECT_EQ(mst.edges, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(Kruskal, TieBreaksByEdgeIdDeterministically) {
+  // Square with all-equal weights: the unique MST under (w, id) order is
+  // edges {0, 1, 2}.
+  Graph g(4, {{0, 1, 7}, {1, 2, 7}, {2, 3, 7}, {3, 0, 7}});
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.edges, (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(Kruskal, MstWeightIsMinimalAgainstRandomSpanningTrees) {
+  const Graph g =
+      with_random_weights(make_erdos_renyi(30, 0.15, 3), 1, 1000, 4);
+  const auto mst = kruskal_mst(g);
+  // Any random spanning tree must weigh at least as much.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+    std::iota(order.begin(), order.end(), EdgeId{0});
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    UnionFind uf(static_cast<std::size_t>(g.num_nodes()));
+    Weight total = 0;
+    for (const EdgeId e : order) {
+      const auto& ed = g.edge(e);
+      if (uf.unite(static_cast<std::size_t>(ed.u),
+                   static_cast<std::size_t>(ed.v)))
+        total += ed.w;
+    }
+    EXPECT_GE(total, mst.total_weight);
+  }
+}
+
+TEST(Components, LabelsByMinimumNodeId) {
+  Graph g(6, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}});
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], 0);
+  EXPECT_EQ(comp[1], 0);
+  EXPECT_EQ(comp[2], 0);
+  EXPECT_EQ(comp[3], 3);
+  EXPECT_EQ(comp[4], 3);
+  EXPECT_EQ(comp[5], 5);
+}
+
+TEST(Components, RespectsEdgeFilter) {
+  const Graph g = make_path(5);
+  std::vector<bool> alive = {true, false, true, true};
+  const auto comp = connected_components(g, alive);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+  EXPECT_EQ(comp[2], comp[4]);
+}
+
+TEST(StoerWagner, CycleHasCutTwo) {
+  EXPECT_EQ(stoer_wagner_mincut(make_cycle(8)), 2u);
+}
+
+TEST(StoerWagner, PathHasCutOne) {
+  EXPECT_EQ(stoer_wagner_mincut(make_path(8)), 1u);
+}
+
+TEST(StoerWagner, WeightedBottleneck) {
+  // Two triangles joined by a single light edge.
+  Graph g(6, {{0, 1, 10}, {1, 2, 10}, {0, 2, 10},
+              {3, 4, 10}, {4, 5, 10}, {3, 5, 10},
+              {2, 3, 3}});
+  EXPECT_EQ(stoer_wagner_mincut(g), 3u);
+}
+
+TEST(StoerWagner, MatchesBruteForceOnSmallRandomGraphs) {
+  // Brute force over all 2^(n-1) bipartitions for tiny n.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g =
+        with_random_weights(make_erdos_renyi(9, 0.35, seed), 1, 9, seed + 50);
+    Weight best = ~0ULL;
+    const NodeId n = g.num_nodes();
+    for (std::uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+      // Node n-1 fixed on side 0; mask selects sides of nodes 0..n-2.
+      Weight cut = 0;
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const auto& ed = g.edge(e);
+        const bool su = ed.u < n - 1 && ((mask >> ed.u) & 1u);
+        const bool sv = ed.v < n - 1 && ((mask >> ed.v) & 1u);
+        if (su != sv) cut += ed.w;
+      }
+      best = std::min(best, cut);
+    }
+    EXPECT_EQ(stoer_wagner_mincut(g), best) << "seed " << seed;
+  }
+}
+
+TEST(StoerWagner, GridCutIsolatesACorner) {
+  // A grid's global min cut severs a degree-2 corner node.
+  EXPECT_EQ(stoer_wagner_mincut(make_grid(4, 7)), 2u);
+}
+
+TEST(StoerWagner, TorusCutIsolatesANode) {
+  // Every torus node has degree 4 and that is the cheapest cut.
+  EXPECT_EQ(stoer_wagner_mincut(make_torus(5, 5)), 4u);
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "shortcut/existential.h"
+#include "shortcut/representation.h"
+#include "test_util.h"
+
+namespace lcs {
+namespace {
+
+using testutil::Sim;
+using testutil::central_components;
+
+void expect_representation_correct(const Graph& g, const Partition& p,
+                                   std::int32_t threshold) {
+  Sim setup(g);
+  const Shortcut s = greedy_blocked_shortcut(g, setup.tree, p, threshold);
+  const ShortcutState state =
+      compute_shortcut_state(setup.net, setup.tree, p, s);
+
+  for (PartId j = 0; j < p.num_parts; ++j) {
+    for (const auto& comp : central_components(g, setup.tree, p, s, j)) {
+      // Every edge slot of the component must name the true root and depth.
+      for (const EdgeId e : comp.edges) {
+        const auto& list = s.parts_on_edge[static_cast<std::size_t>(e)];
+        const auto it = std::lower_bound(list.begin(), list.end(), j);
+        ASSERT_TRUE(it != list.end() && *it == j);
+        const auto idx = static_cast<std::size_t>(it - list.begin());
+        EXPECT_EQ(state.root_id_on_edge[static_cast<std::size_t>(e)][idx],
+                  comp.root);
+        EXPECT_EQ(state.root_depth_on_edge[static_cast<std::size_t>(e)][idx],
+                  setup.tree.depth[static_cast<std::size_t>(comp.root)]);
+      }
+      // Part members of the component must know their block root.
+      for (const NodeId v : comp.nodes) {
+        if (p.part(v) != j) continue;
+        EXPECT_EQ(state.own_block_root[static_cast<std::size_t>(v)],
+                  comp.root);
+        EXPECT_EQ(state.own_block_root_depth[static_cast<std::size_t>(v)],
+                  setup.tree.depth[static_cast<std::size_t>(comp.root)]);
+        EXPECT_EQ(state.own_singleton[static_cast<std::size_t>(v)],
+                  comp.edges.empty());
+      }
+    }
+  }
+}
+
+TEST(Representation, GridRowsPartition) {
+  expect_representation_correct(make_grid(8, 8),
+                                make_grid_rows_partition(8, 8, 2), 3);
+}
+
+TEST(Representation, RandomGraphsAcrossSeedsAndThresholds) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_erdos_renyi(80, 0.05, seed);
+    const auto p = make_random_bfs_partition(g, 9, seed + 3);
+    for (const std::int32_t threshold : {1, 4})
+      expect_representation_correct(g, p, threshold);
+  }
+}
+
+TEST(Representation, SingletonsRootThemselves) {
+  // Threshold 0: no edges assigned anywhere; every part node is a
+  // singleton component rooted at itself.
+  const Graph g = make_grid(6, 6);
+  Sim setup(g);
+  const auto p = make_random_bfs_partition(g, 5, 2);
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(g.num_edges()));
+  const ShortcutState state =
+      compute_shortcut_state(setup.net, setup.tree, p, s);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NE(p.part(v), kNoPart);
+    EXPECT_EQ(state.own_block_root[static_cast<std::size_t>(v)], v);
+    EXPECT_TRUE(state.own_singleton[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(state.own_block_root_depth[static_cast<std::size_t>(v)],
+              setup.tree.depth[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Representation, UnassignedNodesHaveNoBlock) {
+  const Graph g = make_wheel(33);
+  Sim setup(g);
+  const auto p = make_cycle_arcs_partition(33, 4);
+  const Shortcut s = full_ancestor_shortcut(g, setup.tree, p);
+  const ShortcutState state =
+      compute_shortcut_state(setup.net, setup.tree, p, s);
+  const NodeId hub = 32;
+  EXPECT_EQ(p.part(hub), kNoPart);
+  EXPECT_EQ(state.own_block_root[static_cast<std::size_t>(hub)], kNoNode);
+}
+
+}  // namespace
+}  // namespace lcs

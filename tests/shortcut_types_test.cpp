@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "shortcut/existential.h"
+#include "shortcut/shortcut.h"
+#include "test_util.h"
+#include "tree/spanning_tree.h"
+#include "util/check.h"
+
+namespace lcs {
+namespace {
+
+using testutil::Sim;
+
+/// Path 0-1-2-3-4 rooted at 0; parts {0,1} and {3,4}; node 2 unassigned.
+struct PathFixture {
+  Graph g = make_path(5);
+  SpanningTree tree = reference_bfs_tree(g, 0);
+  Partition p;
+
+  PathFixture() {
+    p.num_parts = 2;
+    p.part_of = {0, 0, kNoPart, 1, 1};
+  }
+};
+
+TEST(ShortcutTypes, EmptyShortcutQuality) {
+  PathFixture f;
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(f.g.num_edges()));
+  validate_shortcut(f.g, f.tree, f.p, s);
+  // Congestion 1: the parts own their internal edges.
+  EXPECT_EQ(congestion(f.g, f.p, s), 1);
+  // Blocks are components of (V, Hi) — G[Pi] edges do NOT join them, so an
+  // empty shortcut leaves every part node a singleton block.
+  EXPECT_EQ(block_component_count(f.g, f.p, s, 0), 2);
+  EXPECT_EQ(block_component_count(f.g, f.p, s, 1), 2);
+  EXPECT_EQ(block_parameter(f.g, f.p, s), 2);
+  // Dilation: G[Pi] + Hi is still the 2-path, diameter 1.
+  EXPECT_EQ(dilation(f.g, f.p, s), 1);
+}
+
+TEST(ShortcutTypes, AssignmentCountsTowardCongestion) {
+  PathFixture f;
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(f.g.num_edges()));
+  // Give part 1 the two edges bridging it to part 0's territory: edge 1
+  // (nodes 1-2) and edge 2 (nodes 2-3).
+  s.parts_on_edge[1] = {1};
+  s.parts_on_edge[2] = {1};
+  validate_shortcut(f.g, f.tree, f.p, s);
+  EXPECT_EQ(congestion(f.g, f.p, s), 1);
+  // Components of (V, H1): {1,2,3} (touches node 3) and the singleton {4}.
+  EXPECT_EQ(block_component_count(f.g, f.p, s, 1), 2);
+  // Part 1's subgraph now spans nodes 1..4 -> diameter 3.
+  EXPECT_EQ(dilation(f.g, f.p, s), 3);
+}
+
+TEST(ShortcutTypes, SharedEdgeRaisesCongestion) {
+  PathFixture f;
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(f.g.num_edges()));
+  s.parts_on_edge[1] = {0, 1};  // both parts claim edge 1-2
+  EXPECT_EQ(congestion(f.g, f.p, s), 2);
+}
+
+TEST(ShortcutTypes, OwnedEdgeNotDoubleCounted) {
+  PathFixture f;
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(f.g.num_edges()));
+  s.parts_on_edge[0] = {0};  // edge 0-1 lies inside part 0 AND in H_0
+  EXPECT_EQ(congestion(f.g, f.p, s), 1);
+}
+
+TEST(ShortcutTypes, DisconnectedSubgraphHasInfiniteDilation) {
+  PathFixture f;
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(f.g.num_edges()));
+  // Hand part 0 a far-away edge (3-4) with no connection to it.
+  s.parts_on_edge[3] = {0};
+  EXPECT_EQ(dilation(f.g, f.p, s), std::numeric_limits<std::int32_t>::max());
+  // The far-away component does NOT count toward the block parameter (it
+  // does not intersect P0); the two P0 singletons do.
+  EXPECT_EQ(block_component_count(f.g, f.p, s, 0), 2);
+}
+
+TEST(ShortcutTypes, SplitPartCountsSingletons) {
+  // Three-node path, all in one part. Blocks are components of (V, H0):
+  // with no shortcut edges each node is its own block.
+  Graph g = make_path(3);
+  SpanningTree tree = reference_bfs_tree(g, 0);
+  Partition p;
+  p.num_parts = 1;
+  p.part_of = {0, 0, 0};
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(g.num_edges()));
+  EXPECT_EQ(block_component_count(g, p, s, 0), 3);
+  // Edge 0 joins nodes {0,1} into one block; node 2 stays a singleton.
+  s.parts_on_edge[0] = {0};
+  EXPECT_EQ(block_component_count(g, p, s, 0), 2);
+}
+
+TEST(ShortcutTypes, ValidateRejectsNonTreeEdges) {
+  const Graph g = make_cycle(4);
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  Partition p;
+  p.num_parts = 1;
+  p.part_of = {0, 0, 0, 0};
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(g.num_edges()));
+  // Find the one non-tree edge of the cycle and assign it.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!tree.is_tree_edge(e)) {
+      s.parts_on_edge[static_cast<std::size_t>(e)] = {0};
+      break;
+    }
+  }
+  EXPECT_THROW(validate_shortcut(g, tree, p, s), CheckFailure);
+}
+
+TEST(ShortcutTypes, ValidateRejectsUnsortedLists) {
+  PathFixture f;
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(f.g.num_edges()));
+  s.parts_on_edge[1] = {1, 0};
+  EXPECT_THROW(validate_shortcut(f.g, f.tree, f.p, s), CheckFailure);
+}
+
+TEST(ShortcutTypes, Lemma1BoundHoldsOnRandomInstances) {
+  // dilation <= b(2D+1) for greedy shortcuts over random graphs/partitions.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_erdos_renyi(70, 0.06, seed);
+    const SpanningTree tree = reference_bfs_tree(g, 0);
+    const auto p = make_random_bfs_partition(g, 8, seed + 100);
+    for (const std::int32_t threshold : {1, 3, 8}) {
+      const Shortcut s = greedy_blocked_shortcut(g, tree, p, threshold);
+      validate_shortcut(g, tree, p, s);
+      const std::int32_t b = block_parameter(g, p, s);
+      const std::int32_t d = dilation(g, p, s);
+      ASSERT_NE(d, std::numeric_limits<std::int32_t>::max());
+      EXPECT_LE(d, lemma1_dilation_bound(tree, b))
+          << "seed " << seed << " threshold " << threshold;
+    }
+  }
+}
+
+TEST(ShortcutTypes, DilationEstimateNeverExceedsExact) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_grid(8, 8);
+    const SpanningTree tree = reference_bfs_tree(g, 0);
+    const auto p = make_random_bfs_partition(g, 6, seed);
+    const Shortcut s = greedy_blocked_shortcut(g, tree, p, 4);
+    EXPECT_LE(dilation_estimate(g, p, s), dilation(g, p, s));
+  }
+}
+
+TEST(ShortcutTypes, BlockCountMatchesCentralHelper) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = make_grid(7, 7);
+    const SpanningTree tree = reference_bfs_tree(g, 0);
+    const auto p = make_random_bfs_partition(g, 6, seed);
+    const Shortcut s = greedy_blocked_shortcut(g, tree, p, 2);
+    for (PartId i = 0; i < p.num_parts; ++i) {
+      EXPECT_EQ(block_component_count(g, p, s, i),
+                testutil::central_block_count(g, tree, p, s, i));
+    }
+  }
+}
+
+TEST(ShortcutTypes, EdgesOfPartsRoundTrips) {
+  PathFixture f;
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(f.g.num_edges()));
+  s.parts_on_edge[0] = {0, 1};
+  s.parts_on_edge[2] = {1};
+  const auto per_part = s.edges_of_parts(f.p.num_parts);
+  EXPECT_EQ(per_part[0], (std::vector<EdgeId>{0}));
+  EXPECT_EQ(per_part[1], (std::vector<EdgeId>{0, 2}));
+  EXPECT_TRUE(s.edge_used_by(0, 0));
+  EXPECT_TRUE(s.edge_used_by(0, 1));
+  EXPECT_FALSE(s.edge_used_by(1, 0));
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "shortcut/tree_ops.h"
+#include "test_util.h"
+
+namespace lcs {
+namespace {
+
+using testutil::Sim;
+
+TEST(TreeOps, BroadcastWordReachesAllNodes) {
+  const Graph g = make_grid(7, 7);
+  Sim setup(g);
+  const auto words =
+      broadcast_word_from_root(setup.net, setup.tree, 0xDEADBEEFULL);
+  for (const auto w : words) EXPECT_EQ(w, 0xDEADBEEFULL);
+}
+
+TEST(TreeOps, BroadcastTakesHeightRounds) {
+  const Graph g = make_path(30);
+  Sim setup(g);  // rooted at 0, height 29
+  const std::int64_t before = setup.net.total_rounds();
+  broadcast_word_from_root(setup.net, setup.tree, 5);
+  EXPECT_EQ(setup.net.total_rounds() - before, 29);
+}
+
+TEST(TreeOps, GlobalOrAllFalse) {
+  const Graph g = make_grid(6, 6);
+  Sim setup(g);
+  congest::PerNode<bool> bits(static_cast<std::size_t>(g.num_nodes()), false);
+  EXPECT_FALSE(global_or(setup.net, setup.tree, bits));
+}
+
+TEST(TreeOps, GlobalOrSingleDeepBit) {
+  const Graph g = make_path(25);
+  Sim setup(g);
+  congest::PerNode<bool> bits(static_cast<std::size_t>(g.num_nodes()), false);
+  bits[24] = true;  // farthest leaf
+  EXPECT_TRUE(global_or(setup.net, setup.tree, bits));
+}
+
+TEST(TreeOps, GlobalOrRootOnlyBit) {
+  const Graph g = make_grid(5, 5);
+  Sim setup(g);
+  congest::PerNode<bool> bits(static_cast<std::size_t>(g.num_nodes()), false);
+  bits[0] = true;
+  EXPECT_TRUE(global_or(setup.net, setup.tree, bits));
+}
+
+TEST(TreeOps, GlobalOrRoundsLinearInHeight) {
+  const Graph g = make_path(40);
+  Sim setup(g);
+  congest::PerNode<bool> bits(static_cast<std::size_t>(g.num_nodes()), true);
+  const std::int64_t before = setup.net.total_rounds();
+  global_or(setup.net, setup.tree, bits);
+  EXPECT_LE(setup.net.total_rounds() - before, 2 * setup.tree.height + 4);
+}
+
+TEST(TreeOps, SingleNodeGraph) {
+  const Graph g = make_path(1);
+  Sim setup(g);
+  congest::PerNode<bool> bits{true};
+  EXPECT_TRUE(global_or(setup.net, setup.tree, bits));
+  bits[0] = false;
+  EXPECT_FALSE(global_or(setup.net, setup.tree, bits));
+}
+
+}  // namespace
+}  // namespace lcs

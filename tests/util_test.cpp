@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace lcs {
+namespace {
+
+TEST(Check, PassesOnTrueCondition) {
+  EXPECT_NO_THROW(LCS_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Check, ThrowsWithLocationAndMessage) {
+  try {
+    LCS_CHECK(false, "custom context");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), CheckFailure);
+}
+
+TEST(Rng, NextInCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_in(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.next_bool(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Hash64, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(hash64(1, 2), hash64(1, 2));
+  EXPECT_NE(hash64(1, 2), hash64(2, 2));
+  EXPECT_NE(hash64(1, 2), hash64(1, 3));
+  EXPECT_EQ(hash64(5, 6, 7), hash64(5, 6, 7));
+  EXPECT_NE(hash64(5, 6, 7), hash64(5, 7, 6));
+}
+
+TEST(HashCoin, ExtremesAndCalibration) {
+  EXPECT_FALSE(hash_coin(9, 1, 0.0));
+  EXPECT_TRUE(hash_coin(9, 1, 1.0));
+  int hits = 0;
+  const int trials = 20000;
+  for (int k = 0; k < trials; ++k)
+    if (hash_coin(123, static_cast<std::uint64_t>(k), 0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(HashCoin, SharedRandomnessAgreesAcrossCallers) {
+  // The property the protocols rely on: any two "nodes" evaluating the coin
+  // for the same (seed, part) get the same answer.
+  for (std::uint64_t part = 0; part < 50; ++part)
+    EXPECT_EQ(hash_coin(77, part, 0.5), hash_coin(77, part, 0.5));
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), CheckFailure);
+  EXPECT_THROW(s.percentile(50), CheckFailure);
+}
+
+TEST(Table, AlignsColumnsAndRejectsBadRows) {
+  Table t({"name", "value"});
+  t.begin_row().cell(std::string("x")).cell(std::int64_t{12});
+  t.begin_row().cell(std::string("long-name")).cell(3.5);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("3.500"), std::string::npos);
+
+  Table bad({"a", "b"});
+  bad.begin_row().cell(std::string("only-one"));
+  std::ostringstream sink;
+  EXPECT_THROW(bad.print(sink), CheckFailure);
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "shortcut/core_fast.h"
+#include "shortcut/core_slow.h"
+#include "shortcut/existential.h"
+#include "shortcut/representation.h"
+#include "shortcut/superstep.h"
+#include "shortcut/verification.h"
+#include "test_util.h"
+
+namespace lcs {
+namespace {
+
+using testutil::Sim;
+using testutil::central_block_count;
+
+/// Verification must be exact: part_good[j] iff the true block count is at
+/// most b_limit (Lemma 3).
+void expect_verification_exact(Sim& setup, const Partition& p,
+                               Shortcut s, std::int32_t b_limit) {
+  const Graph& g = setup.net.graph();
+  const ShortcutState state =
+      compute_shortcut_state(setup.net, setup.tree, p, std::move(s));
+  const NeighborParts neighbor_parts =
+      exchange_neighbor_parts(setup.net, p);
+  const VerificationResult result = verify_block_parameter(
+      setup.net, setup.tree, p, state, b_limit, neighbor_parts);
+
+  for (PartId j = 0; j < p.num_parts; ++j) {
+    const std::int32_t truth =
+        central_block_count(g, setup.tree, p, state.shortcut, j);
+    EXPECT_EQ(result.part_good[static_cast<std::size_t>(j)],
+              truth <= b_limit)
+        << "part " << j << " true blocks " << truth << " limit " << b_limit;
+  }
+}
+
+TEST(Verification, ExactOnGreedyShortcutsAcrossThresholdsAndLimits) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = make_erdos_renyi(80, 0.05, seed);
+    const auto p = make_random_bfs_partition(g, 10, seed + 4);
+    for (const std::int32_t threshold : {0, 1, 3, 8}) {
+      for (const std::int32_t b_limit : {1, 2, 4, 8}) {
+        Sim setup(g);
+        expect_verification_exact(
+            setup, p, greedy_blocked_shortcut(g, setup.tree, p, threshold),
+            b_limit);
+      }
+    }
+  }
+}
+
+TEST(Verification, ExactOnCoreOutputs) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = make_grid(9, 9);
+    const auto p = make_random_bfs_partition(g, 12, seed);
+    Sim setup(g);
+    const CoreResult core = core_fast(setup.net, setup.tree, p.part_of,
+                                      CoreFastParams{2, 4.0, seed});
+    for (const std::int32_t b_limit : {1, 3, 6})
+      expect_verification_exact(setup, p, core.shortcut, b_limit);
+  }
+}
+
+TEST(Verification, FullAncestorAlwaysGoodAtLimitOne) {
+  const Graph g = make_grid(8, 8);
+  Sim setup(g);
+  const auto p = make_random_bfs_partition(g, 9, 7);
+  expect_verification_exact(setup, p,
+                            full_ancestor_shortcut(g, setup.tree, p), 1);
+}
+
+TEST(Verification, EmptyShortcutSingletonCounts) {
+  // With no shortcut edges each part has |Pi| block components; only parts
+  // of size <= b_limit pass.
+  const Graph g = make_grid(8, 8);
+  Sim setup(g);
+  const auto p = make_random_bfs_partition(g, 12, 3);
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(g.num_edges()));
+  expect_verification_exact(setup, p, std::move(s), 5);
+}
+
+TEST(Verification, UnanimousWithinParts) {
+  const Graph g = make_erdos_renyi(70, 0.06, 2);
+  Sim setup(g);
+  const auto p = make_random_bfs_partition(g, 8, 6);
+  const Shortcut s = greedy_blocked_shortcut(g, setup.tree, p, 2);
+  const ShortcutState state =
+      compute_shortcut_state(setup.net, setup.tree, p, s);
+  const NeighborParts neighbor_parts = exchange_neighbor_parts(setup.net, p);
+  const VerificationResult result = verify_block_parameter(
+      setup.net, setup.tree, p, state, 2, neighbor_parts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const PartId j = p.part(v);
+    if (j == kNoPart) continue;
+    EXPECT_EQ(result.node_good[static_cast<std::size_t>(v)],
+              result.part_good[static_cast<std::size_t>(j)]);
+  }
+}
+
+TEST(Verification, RoundsWithinLemma6Bound) {
+  const Graph g = make_grid(10, 10);
+  Sim setup(g);
+  const auto p = make_random_bfs_partition(g, 14, 5);
+  const Shortcut s = greedy_blocked_shortcut(g, setup.tree, p, 3);
+  std::int32_t c = 1;
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    c = std::max(c, static_cast<std::int32_t>(
+                        s.parts_on_edge[static_cast<std::size_t>(e)].size()));
+  const ShortcutState state =
+      compute_shortcut_state(setup.net, setup.tree, p, s);
+  const NeighborParts neighbor_parts = exchange_neighbor_parts(setup.net, p);
+
+  for (const std::int32_t b_limit : {1, 4}) {
+    const std::int64_t before = setup.net.total_rounds();
+    verify_block_parameter(setup.net, setup.tree, p, state, b_limit,
+                           neighbor_parts);
+    const std::int64_t rounds = setup.net.total_rounds() - before;
+    // 4*b_limit + 2 supersteps, each O(D + c); slack factor for the three
+    // sub-phases per superstep.
+    EXPECT_LE(rounds,
+              (4 * b_limit + 4) *
+                  (3 * (setup.tree.height + c) + 16))
+        << "b_limit " << b_limit;
+  }
+}
+
+TEST(Verification, AdversarialDumbbellPart) {
+  // Hand-built part with exactly two far-apart blocks joined by a long
+  // chain of part nodes: block count = 2 + chain singletons. Check exact
+  // behaviour at the boundary.
+  const NodeId n = 12;
+  const Graph g = make_path(n);
+  Sim setup(g);
+  Partition p;
+  p.num_parts = 1;
+  p.part_of.assign(static_cast<std::size_t>(n), 0);
+
+  // Shortcut: edges 0-1 and 10-11 only -> blocks: {0,1}, {10,11}, plus
+  // singletons 2..9 -> 10 block components.
+  Shortcut s;
+  s.parts_on_edge.resize(static_cast<std::size_t>(g.num_edges()));
+  s.parts_on_edge[0] = {0};
+  s.parts_on_edge[10] = {0};
+  expect_verification_exact(setup, p, s, 9);
+  Sim setup2(g);
+  expect_verification_exact(setup2, p, std::move(s), 10);
+}
+
+}  // namespace
+}  // namespace lcs
