@@ -13,13 +13,59 @@
 /// The engine is activity-driven: per round it touches only nodes that
 /// received a message or requested a wakeup, so simulation work is
 /// proportional to the total message count, not rounds × nodes.
+///
+/// ## Engine internals (slab inboxes, epoch stamps, O(active) scheduling)
+///
+/// The hot path is allocation-free in the steady state and touches O(active
+/// + messages) memory per round:
+///
+///  * **Slab inboxes.** Messages live in two arena slabs that are
+///    double-buffered between the round being filled and the round being
+///    delivered. A send appends one `Incoming` to the *fill* slab (plus its
+///    destination in a parallel array) and bumps a per-node epoch-stamped
+///    message count — one 16-byte `NodeState` touch, no per-message or
+///    per-node heap allocation (slab capacity persists across rounds and
+///    phases). At round promotion the fill slab is counting-scattered into
+///    the *ordered* slab, destination-major in ascending node order and
+///    send-ordered within each destination, so every inbox a process sees
+///    is a contiguous slab range: the public API stays
+///    `std::span<const Incoming>` with zero per-message copies at delivery,
+///    the whole round's delivery is one sequential pass over the ordered
+///    slab, and per-node delivery order matches the historical
+///    vector-of-vectors engine bit-for-bit.
+///
+///  * **Epoch-stamped resets.** A global monotone `tick_` advances once per
+///    phase start and once per round. Membership tests that previously
+///    required O(n) or O(m) `std::fill` resets per phase — "is v already in
+///    next round's active list", "how many messages does v have in the fill
+///    round", "did this directed edge already carry a send this round" — are
+///    all expressed as `stamp[x] == tick_`, so nothing is ever cleared and
+///    `run` startup is O(active), independent of n and m.
+///
+///  * **O(active) scheduling.** The active list is ordered ascending by node
+///    id each round (the engine's determinism contract) with an LSD radix
+///    sort over the id bytes (insertion sort below a small cutoff), so
+///    scheduling costs O(active) per round instead of O(active log active).
+///
+/// ## Validation mode
+///
+/// `set_validate()` toggles the CONGEST faithfulness checks in the send
+/// path: that the sender is an endpoint of the edge it sends over, and that
+/// each directed edge carries at most one message per round. Validation is
+/// **on by default** (and in all tests); benchmarks turn it off to measure
+/// raw engine throughput. With validation off the checks are skipped
+/// entirely — behavior, delivery order, and all round/message accounting
+/// are unchanged for protocols that obey the model, but a violating
+/// protocol is no longer diagnosed.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "congest/message.h"
@@ -32,6 +78,31 @@ namespace lcs::congest {
 struct PhaseStats {
   std::int64_t rounds = 0;
   std::int64_t messages = 0;
+};
+
+/// Flat label → rounds accounting for `Network::charge`. A sorted
+/// vector of (label, rounds) pairs: the handful of distinct labels a run
+/// produces makes a tree map pure overhead. Iteration yields pairs in
+/// lexicographic label order (as `std::map` did).
+class ChargeTable {
+ public:
+  using Entry = std::pair<std::string, std::int64_t>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  /// Rounds charged under `label`; fails if the label was never charged.
+  std::int64_t at(std::string_view label) const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+ private:
+  friend class Network;
+  void add(std::string_view label, std::int64_t rounds);
+  void clear() { entries_.clear(); }
+
+  std::vector<Entry> entries_;  // sorted by label
 };
 
 class Network {
@@ -51,46 +122,127 @@ class Network {
   PhaseStats run(std::span<Process* const> procs,
                  std::int64_t max_rounds = kDefaultMaxRounds);
 
-  /// Account `rounds` additional rounds of explicitly-charged coordination
-  /// (e.g. termination-detection echo, seed broadcast). Labels are
-  /// aggregated for reporting.
+  /// Toggle the CONGEST faithfulness checks (incident-edge and
+  /// one-send-per-directed-edge-per-round) in the send path. On by
+  /// default; benchmarks turn it off. See the header comment.
+  void set_validate(bool on) { validate_ = on; }
+  bool validate() const { return validate_; }
+
+  /// Account `rounds` additional rounds of explicitly-charged coordination.
+  /// Labels are aggregated for reporting. Conventional labels:
+  ///   "seed-broadcast" — flooding a shared random seed from the root;
+  ///   "termination"    — the O(D) convergecast echo that detects
+  ///                      quiescence, which the simulator observes for free.
+  /// New call sites should reuse these or add a short kebab-case label.
   void charge(std::int64_t rounds, const std::string& label);
 
   std::int64_t total_rounds() const { return total_rounds_; }
   std::int64_t total_messages() const { return total_messages_; }
-  const std::map<std::string, std::int64_t>& charged_rounds() const {
-    return charged_;
-  }
+  const ChargeTable& charged_rounds() const { return charged_; }
 
   /// Reset the accumulated totals (the topology is preserved).
   void reset_accounting();
 
+  /// Scratch storage reused by `run_phase` across phases so building the
+  /// `Process*` view allocates only until the high-water mark is reached.
+  std::vector<Process*>& process_scratch() { return proc_scratch_; }
+
  private:
   friend class Context;
-  void do_send(NodeId from, EdgeId e, const Message& m, std::int64_t round);
+
+  /// Epoch-stamped per-node round state: `stamp == tick32()` means the
+  /// node is in the round currently being filled; `count` is its message
+  /// count in that round (0 for a wakeup-only activation). During the
+  /// scatter pass `count` is repurposed as the node's write cursor into
+  /// the ordered slab. The stamp is the low 31 bits of the global tick —
+  /// an 8-byte cell halves the footprint of the engine's hottest
+  /// random-access array; `advance_tick` refills the array on the (rare)
+  /// wrap so stale stamps can never alias a live tick.
+  struct NodeState {
+    std::int32_t stamp;
+    std::int32_t count;
+  };
+
+  /// Contiguous range of one node's messages in the ordered slab.
+  struct InboxSpan {
+    std::int32_t start;
+    std::int32_t count;
+  };
+
+  void do_send(NodeId from, EdgeId e, const Message& m,
+               std::span<const Graph::Neighbor> from_neighbors);
   void do_wake(NodeId v);
+  /// The 31-bit view of `tick_` that `NodeState::stamp` compares against.
+  std::int32_t tick32() const {
+    return static_cast<std::int32_t>(tick_ & 0x7fffffff);
+  }
+  /// Bump the global epoch; on 31-bit wrap, invalidate all node stamps.
+  void advance_tick();
+  /// Ascending-id order of the active list (LSD radix over id bytes).
+  void sort_active(std::vector<NodeId>& a);
 
   const Graph* graph_;
+  bool validate_ = true;
 
-  // Per-phase transient state.
-  std::vector<std::vector<Incoming>> inbox_;
-  std::vector<std::vector<Incoming>> next_inbox_;
+  /// Global epoch: advances at every phase start and every round. All
+  /// "reset per round/phase" state below is stamp-guarded against it.
+  std::int64_t tick_ = 0;
+
+  /// Produce the destination-major ordering of the fill slab and the
+  /// per-active-node `spans_` into it via a counting scatter through
+  /// per-node cursors; returns the ordered message array.
+  const Incoming* cursor_scatter(std::size_t nmsg);
+
+  // Message arenas. Sends append the payload to `slab_fill_` and the
+  // destination to the parallel `slab_fill_to_` (send order); round
+  // promotion counting-scatters them destination-major into
+  // `slab_ordered_`, from which all inbox spans are served. Capacities
+  // persist across rounds and phases.
+  std::vector<Incoming> slab_fill_;
+  std::vector<NodeId> slab_fill_to_;
+  std::vector<Incoming> slab_ordered_;
+
+  std::vector<NodeState> node_state_;
   std::vector<NodeId> next_active_;
-  std::vector<bool> in_next_active_;
-  std::vector<std::int64_t> edge_dir_last_send_;  // per directed edge
+
+  // Endpoints of every edge, sans weight: half the footprint of the full
+  // `Graph::Edge` array for the per-send destination lookup.
+  std::vector<std::pair<NodeId, NodeId>> edge_ends_;
+
+  // Tick of the last send over each directed edge (2e, 2e+1); used only
+  // when validation is on.
+  std::vector<std::int64_t> edge_dir_stamp_;
+
+  // Reused per-round scratch (capacity persists across rounds/phases).
+  std::vector<NodeId> active_;
+  std::vector<InboxSpan> spans_;  // aligned with active_
+  std::vector<NodeId> radix_scratch_;
+  std::vector<Process*> proc_scratch_;
+
   std::int64_t phase_messages_ = 0;
 
   std::int64_t total_rounds_ = 0;
   std::int64_t total_messages_ = 0;
-  std::map<std::string, std::int64_t> charged_;
+  ChargeTable charged_;
 };
 
-/// Convenience: run a phase over a vector of concrete processes.
+// Context's send/wake are defined here (not in a .cpp) so the per-message
+// entry point inlines into process code; the sender's neighbor span rides
+// along to resolve the destination from cache-warm adjacency.
+inline void Context::send(EdgeId e, const Message& m) {
+  net_.do_send(id_, e, m, neighbors_);
+}
+inline void Context::wake_next_round() { net_.do_wake(id_); }
+
+/// Convenience: run a phase over a vector of concrete processes. The
+/// pointer view is built in `Network`-owned scratch, so repeated phases on
+/// the same network do not reallocate it.
 template <class P>
 PhaseStats run_phase(Network& net, std::vector<P>& procs,
                      std::int64_t max_rounds = Network::kDefaultMaxRounds) {
   static_assert(std::is_base_of_v<Process, P>);
-  std::vector<Process*> ptrs;
+  auto& ptrs = net.process_scratch();
+  ptrs.clear();
   ptrs.reserve(procs.size());
   for (auto& p : procs) ptrs.push_back(&p);
   return net.run(ptrs, max_rounds);

@@ -45,10 +45,13 @@ class Context {
   std::span<const Graph::Neighbor> neighbors() const { return neighbors_; }
 
   /// Send `m` over incident edge `e`. At most one send per edge per round
-  /// (checked). The message is delivered at the start of the next round.
+  /// (checked when the network's validate mode is on). The message is
+  /// delivered at the start of the next round. Defined inline in
+  /// network.h so the per-message path inlines into process code.
   void send(EdgeId e, const Message& m);
 
   /// Ensure on_round is invoked next round even without incoming messages.
+  /// Defined inline in network.h.
   void wake_next_round();
 
  private:

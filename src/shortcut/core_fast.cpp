@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <queue>
 
 #include "shortcut/tree_ops.h"
 #include "util/check.h"
@@ -18,6 +18,30 @@ using congest::Message;
 
 enum Tag : std::uint32_t { kId, kEnd };
 
+/// Sorted duplicate-free id set backed by a flat vector. The id sets here
+/// stay small (the streaming phase caps membership at `threshold`; routing
+/// holds the ids crossing one tree edge), so binary-search insertion into a
+/// reserved vector beats a node-allocating `std::set` on every axis (at
+/// most one allocation, contiguous scans, trivial iteration).
+class SortedIdSet {
+ public:
+  void reserve(std::size_t n) { ids_.reserve(n); }
+
+  /// Returns true iff `x` was not present.
+  bool insert(PartId x) {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), x);
+    if (it != ids_.end() && *it == x) return false;
+    ids_.insert(it, x);
+    return true;
+  }
+
+  std::size_t size() const { return ids_.size(); }
+  const std::vector<PartId>& values() const { return ids_; }
+
+ private:
+  std::vector<PartId> ids_;  // sorted ascending
+};
+
 /// Phase 2: bottom-up streaming of *active* part ids; an edge becomes
 /// unusable when at least `threshold` distinct active ids want it.
 class SampledStreamProcess final : public congest::Process {
@@ -25,6 +49,7 @@ class SampledStreamProcess final : public congest::Process {
   SampledStreamProcess(NodeId id, const SpanningTree& tree, PartId active_id,
                        std::int32_t threshold)
       : id_(id), tree_(tree), threshold_(threshold) {
+    ids_.reserve(static_cast<std::size_t>(threshold));
     if (active_id != kNoPart) ids_.insert(active_id);
   }
 
@@ -67,7 +92,7 @@ class SampledStreamProcess final : public congest::Process {
         static_cast<std::int32_t>(ids_.size()) >= threshold_) {
       unusable = true;
     } else {
-      to_send_.assign(ids_.begin(), ids_.end());
+      to_send_ = ids_.values();
     }
     continue_streaming(ctx);
   }
@@ -92,7 +117,7 @@ class SampledStreamProcess final : public congest::Process {
   NodeId id_;
   const SpanningTree& tree_;
   std::int32_t threshold_;
-  std::set<PartId> ids_;
+  SortedIdSet ids_;  // bounded: never grows past threshold_
   std::vector<PartId> to_send_;
   bool saturated_ = false;
   int pending_children_ = 0;
@@ -110,21 +135,19 @@ class RouteAllProcess final : public congest::Process {
       : id_(id), tree_(tree), parent_unusable_(parent_unusable) {
     if (own_part != kNoPart) {
       known_.insert(own_part);
-      unforwarded_.insert(own_part);
+      unforwarded_.push(own_part);
     }
   }
 
   /// Q_v: all ids that can see this node's parent edge.
-  std::vector<PartId> ids() const {
-    return std::vector<PartId>(known_.begin(), known_.end());
-  }
+  std::vector<PartId> ids() const { return known_.values(); }
 
   void on_start(Context& ctx) override { forward(ctx); }
 
   void on_round(Context& ctx, std::span<const Incoming> inbox) override {
     for (const auto& in : inbox) {
       const auto j = static_cast<PartId>(in.msg.words[0]);
-      if (known_.insert(j).second) unforwarded_.insert(j);
+      if (known_.insert(j)) unforwarded_.push(j);
     }
     forward(ctx);
   }
@@ -133,8 +156,8 @@ class RouteAllProcess final : public congest::Process {
   void forward(Context& ctx) {
     const EdgeId pe = tree_.parent_edge[static_cast<std::size_t>(id_)];
     if (pe == kNoEdge || parent_unusable_ || unforwarded_.empty()) return;
-    const PartId j = *unforwarded_.begin();
-    unforwarded_.erase(unforwarded_.begin());
+    const PartId j = unforwarded_.top();
+    unforwarded_.pop();
     ctx.send(pe, Message(kId, static_cast<std::uint64_t>(j)));
     if (!unforwarded_.empty()) ctx.wake_next_round();
   }
@@ -142,8 +165,12 @@ class RouteAllProcess final : public congest::Process {
   NodeId id_;
   const SpanningTree& tree_;
   bool parent_unusable_;
-  std::set<PartId> known_;
-  std::set<PartId> unforwarded_;
+  SortedIdSet known_;
+  // Min-first queue: each round forwards the smallest unforwarded id,
+  // exactly as iterating a std::set from begin() did. Ids enter at most
+  // once (guarded by known_), so the heap holds no duplicates.
+  std::priority_queue<PartId, std::vector<PartId>, std::greater<PartId>>
+      unforwarded_;
 };
 
 }  // namespace
