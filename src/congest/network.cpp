@@ -39,8 +39,23 @@ Network::Network(const Graph& graph) : graph_(&graph) {
   }
 }
 
+void Network::set_threads(int threads) {
+  LCS_CHECK(threads >= 0, "thread count must be non-negative");
+  threads_ = WorkerPool::resolve_threads(threads);
+  if (threads_ <= 1) {
+    pool_.reset();
+    lanes_.clear();
+    return;
+  }
+  if (!pool_ || pool_->size() != threads_)
+    pool_ = std::make_unique<WorkerPool>(threads_);
+  if (lanes_.size() != static_cast<std::size_t>(threads_))
+    lanes_.resize(static_cast<std::size_t>(threads_));
+}
+
 void Network::do_send(NodeId from, EdgeId e, const Message& m,
-                      std::span<const Graph::Neighbor> from_neighbors) {
+                      std::span<const Graph::Neighbor> from_neighbors,
+                      SendLane* lane) {
   // Resolve the destination. For low-degree senders, scan the sender's own
   // adjacency — the process just iterated it, so those lines are hot and
   // the cold random load of edge_ends_[e] is skipped; high-degree senders
@@ -74,6 +89,16 @@ void Network::do_send(NodeId from, EdgeId e, const Message& m,
     const auto& [u, v] = edge_ends_[static_cast<std::size_t>(e)];
     to = u == from ? v : u;
   }
+  if (lane != nullptr) {
+    // Parallel worker: append to the private lane and return. The
+    // double-send check and the per-destination accounting mutate shared
+    // state, so they are deferred to merge_lanes(), which replays the
+    // lanes on one thread in the sequential engine's send order.
+    lane->fill.push_back(Incoming{from, e, m});
+    lane->fill_to.push_back(to);
+    return;
+  }
+
   if (validate_) {
     const std::size_t dir =
         static_cast<std::size_t>(e) * 2 +
@@ -97,7 +122,11 @@ void Network::do_send(NodeId from, EdgeId e, const Message& m,
   }
 }
 
-void Network::do_wake(NodeId v) {
+void Network::do_wake(NodeId v, SendLane* lane) {
+  if (lane != nullptr) {
+    lane->wakes.push_back(v);
+    return;
+  }
   NodeState& st = node_state_[static_cast<std::size_t>(v)];
   const std::int32_t now = tick32();
   if (st.stamp != now) {
@@ -161,10 +190,10 @@ void Network::sort_active(std::vector<NodeId>& a) {
   if (src != a.data()) std::copy(src, src + size, a.data());
 }
 
-const Incoming* Network::cursor_scatter(std::size_t nmsg) {
+void Network::build_spans(std::size_t nmsg) {
   // Inbox spans from the per-node message counts (prefix sum over the
-  // sorted active list), then one pass moving each message to its
-  // destination's cursor. `NodeState::count` doubles as the cursor.
+  // sorted active list); `NodeState::count` doubles as the scatter's
+  // write cursor.
   spans_.resize(active_.size());
   std::int64_t total = 0;
   for (std::size_t i = 0; i < active_.size(); ++i) {
@@ -183,16 +212,18 @@ const Incoming* Network::cursor_scatter(std::size_t nmsg) {
   // scatter, so shrinking (and re-initializing on regrowth) would be pure
   // waste.
   if (slab_ordered_.size() < nmsg) slab_ordered_.resize(nmsg);
-  const Incoming* fill = slab_fill_.data();
-  const NodeId* fill_to = slab_fill_to_.data();
-  for (std::size_t i = 0; i < nmsg; ++i) {
+}
+
+void Network::scatter_block(const Incoming* fill, const NodeId* fill_to,
+                            std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
     // Two-stage prefetch pipeline over the pass's only cold lines: the
-    // per-destination cursor (32 ahead), then the store target it points
-    // at (16 ahead; a stale cursor there only weakens the hint).
-    if (i + 64 < nmsg)
+    // per-destination cursor (64 ahead), then the store target it points
+    // at (24 ahead; a stale cursor there only weakens the hint).
+    if (i + 64 < count)
       __builtin_prefetch(
           &node_state_[static_cast<std::size_t>(fill_to[i + 64])], 1);
-    if (i + 24 < nmsg)
+    if (i + 24 < count)
       __builtin_prefetch(
           &slab_ordered_[static_cast<std::size_t>(
               node_state_[static_cast<std::size_t>(fill_to[i + 24])].count)],
@@ -200,7 +231,106 @@ const Incoming* Network::cursor_scatter(std::size_t nmsg) {
     NodeState& st = node_state_[static_cast<std::size_t>(fill_to[i])];
     slab_ordered_[static_cast<std::size_t>(st.count++)] = fill[i];
   }
+}
+
+const Incoming* Network::cursor_scatter(std::size_t nmsg) {
+  build_spans(nmsg);
+  scatter_block(slab_fill_.data(), slab_fill_to_.data(), nmsg);
   return slab_ordered_.data();
+}
+
+const Incoming* Network::scatter_lanes(std::size_t nmsg) {
+  build_spans(nmsg);
+  for (SendLane& lane : lanes_)
+    scatter_block(lane.fill.data(), lane.fill_to.data(), lane.fill.size());
+  return slab_ordered_.data();
+}
+
+void Network::merge_lanes() {
+  // Replay every lane into the shared per-node state exactly as the
+  // sequential send path would have. Lanes are walked in worker order and
+  // each in insertion order; workers own contiguous ascending shards of
+  // the active list, so this concatenation *is* the sequential engine's
+  // send order — counts, the next-active set, and the double-send
+  // diagnostics all come out bit-identical. Wakeups are replayed after a
+  // lane's sends, which is order-insensitive: a wakeup only stamps a node
+  // with count 0 when nothing stamped it yet, and never changes the count
+  // otherwise.
+  const std::int32_t now = tick32();
+  for (SendLane& lane : lanes_) {
+    const std::size_t nmsg = lane.fill.size();
+    const Incoming* fill = lane.fill.data();
+    const NodeId* fill_to = lane.fill_to.data();
+    for (std::size_t i = 0; i < nmsg; ++i) {
+      if (validate_) {
+        const Incoming& in = fill[i];
+        const std::size_t dir =
+            static_cast<std::size_t>(in.edge) * 2 +
+            (in.from == edge_ends_[static_cast<std::size_t>(in.edge)].first
+                 ? 0
+                 : 1);
+        LCS_CHECK(edge_dir_stamp_[dir] != tick_,
+                  "CONGEST violation: two sends over one edge in one round");
+        edge_dir_stamp_[dir] = tick_;
+      }
+      const NodeId to = fill_to[i];
+      NodeState& st = node_state_[static_cast<std::size_t>(to)];
+      if (st.stamp != now) {
+        st.stamp = now;
+        st.count = 1;
+        next_active_.push_back(to);
+      } else {
+        ++st.count;
+      }
+    }
+    for (const NodeId v : lane.wakes) {
+      NodeState& st = node_state_[static_cast<std::size_t>(v)];
+      if (st.stamp != now) {
+        st.stamp = now;
+        st.count = 0;
+        next_active_.push_back(v);
+      }
+    }
+  }
+}
+
+void Network::deliver_parallel(std::span<Process* const> procs,
+                               const Incoming* ordered, std::int64_t round) {
+  // Contiguous weight-balanced shards of the sorted active list: worker w
+  // processes active_[bounds[w], bounds[w+1]). Weight = inbox size plus a
+  // constant per activation, so message-heavy and wakeup-heavy rounds
+  // both split evenly. Bounds depend only on deterministic per-round
+  // state, so lane contents — and hence the merge order — are
+  // reproducible at any thread count.
+  constexpr std::int64_t kActivationWeight = 4;
+  const std::size_t nactive = active_.size();
+  const auto k = static_cast<std::size_t>(threads_);
+  shard_bounds_.assign(k + 1, nactive);
+  shard_bounds_[0] = 0;
+  std::int64_t total_weight = 0;
+  for (std::size_t i = 0; i < nactive; ++i)
+    total_weight += spans_[i].count + kActivationWeight;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0, w = 1; i < nactive && w < k; ++i) {
+    acc += spans_[i].count + kActivationWeight;
+    while (w < k && acc >= total_weight * static_cast<std::int64_t>(w) /
+                               static_cast<std::int64_t>(k))
+      shard_bounds_[w++] = i + 1;
+  }
+
+  const NodeId num_nodes = graph_->num_nodes();
+  pool_->run([&](int worker) {
+    const auto uw = static_cast<std::size_t>(worker);
+    SendLane* lane = &lanes_[uw];
+    for (std::size_t i = shard_bounds_[uw]; i < shard_bounds_[uw + 1]; ++i) {
+      const NodeId v = active_[i];
+      const auto nbrs = graph_->neighbors(v);
+      Context ctx(*this, v, num_nodes, round, nbrs, lane);
+      procs[static_cast<std::size_t>(v)]->on_round(
+          ctx, {ordered + spans_[i].start,
+                static_cast<std::size_t>(spans_[i].count)});
+    }
+  });
 }
 
 PhaseStats Network::run(std::span<Process* const> procs,
@@ -214,15 +344,38 @@ PhaseStats Network::run(std::span<Process* const> procs,
   // tick advances past every stamp an earlier phase wrote.
   slab_fill_.clear();
   slab_fill_to_.clear();
+  for (SendLane& lane : lanes_) lane.clear();
   next_active_.clear();
   active_.clear();
   phase_messages_ = 0;
   advance_tick();
 
-  // Round -1: on_start for every node (sends arrive in round 0).
-  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
-    Context ctx(*this, v, graph_->num_nodes(), -1, graph_->neighbors(v));
-    procs[static_cast<std::size_t>(v)]->on_start(ctx);
+  const bool parallel = threads_ > 1;
+  const NodeId num_nodes = graph_->num_nodes();
+
+  // Round -1: on_start for every node (sends arrive in round 0). In
+  // parallel mode the nodes are sharded evenly; each worker's lane is
+  // merged afterwards, exactly like a delivery round's.
+  if (!parallel) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      Context ctx(*this, v, num_nodes, -1, graph_->neighbors(v));
+      procs[static_cast<std::size_t>(v)]->on_start(ctx);
+    }
+  } else {
+    const auto n = static_cast<std::size_t>(num_nodes);
+    const auto k = static_cast<std::size_t>(threads_);
+    pool_->run([&](int worker) {
+      const auto uw = static_cast<std::size_t>(worker);
+      SendLane* lane = &lanes_[uw];
+      const std::size_t lo = n * uw / k;
+      const std::size_t hi = n * (uw + 1) / k;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto v = static_cast<NodeId>(i);
+        Context ctx(*this, v, num_nodes, -1, graph_->neighbors(v), lane);
+        procs[i]->on_start(ctx);
+      }
+    });
+    merge_lanes();
   }
 
   std::int64_t round = 0;
@@ -238,23 +391,37 @@ PhaseStats Network::run(std::span<Process* const> procs,
     active_.swap(next_active_);
     next_active_.clear();
     sort_active(active_);  // deterministic ascending order
-    const std::size_t nmsg = slab_fill_.size();
+    std::size_t nmsg = 0;
+    if (parallel) {
+      for (const SendLane& lane : lanes_) nmsg += lane.fill.size();
+    } else {
+      nmsg = slab_fill_.size();
+    }
     LCS_CHECK(static_cast<std::int64_t>(nmsg) <= INT32_MAX,
               "more than 2^31 messages in one round");
     phase_messages_ += static_cast<std::int64_t>(nmsg);
-    const Incoming* ordered = cursor_scatter(nmsg);
-    slab_fill_.clear();
-    slab_fill_to_.clear();
+    const Incoming* ordered =
+        parallel ? scatter_lanes(nmsg) : cursor_scatter(nmsg);
+    if (parallel) {
+      for (SendLane& lane : lanes_) lane.clear();
+    } else {
+      slab_fill_.clear();
+      slab_fill_to_.clear();
+    }
     advance_tick();  // this round's sends stamp separately from deliveries
 
-    const NodeId num_nodes = graph_->num_nodes();
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      const NodeId v = active_[i];
-      const auto nbrs = graph_->neighbors(v);
-      Context ctx(*this, v, num_nodes, round, nbrs);
-      procs[static_cast<std::size_t>(v)]->on_round(
-          ctx, {ordered + spans_[i].start,
-                static_cast<std::size_t>(spans_[i].count)});
+    if (!parallel) {
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        const NodeId v = active_[i];
+        const auto nbrs = graph_->neighbors(v);
+        Context ctx(*this, v, num_nodes, round, nbrs);
+        procs[static_cast<std::size_t>(v)]->on_round(
+            ctx, {ordered + spans_[i].start,
+                  static_cast<std::size_t>(spans_[i].count)});
+      }
+    } else {
+      deliver_parallel(procs, ordered, round);
+      merge_lanes();
     }
     ++round;
   }

@@ -56,7 +56,39 @@
 /// raw engine throughput. With validation off the checks are skipped
 /// entirely — behavior, delivery order, and all round/message accounting
 /// are unchanged for protocols that obey the model, but a violating
-/// protocol is no longer diagnosed.
+/// protocol is no longer diagnosed. Validation works identically in
+/// parallel mode: the read-only incidence checks run inside the workers,
+/// and the one-send-per-directed-edge check runs during the (sequential,
+/// deterministically ordered) lane merge, so a violating protocol is
+/// diagnosed at every thread count.
+///
+/// ## Parallel mode (`set_threads`)
+///
+/// Rounds are data-parallel per node except for the send side, so
+/// `set_threads(k)` with k > 1 executes process callbacks on a persistent
+/// `WorkerPool`: each worker processes a *contiguous shard* of the sorted
+/// active list (shard boundaries balance inbox sizes plus a constant per
+/// activation, computed from deterministic per-round state only) and
+/// appends its sends and wakeups to a private `SendLane` instead of the
+/// shared engine state. At the next promotion the lanes are *merged* on
+/// one thread, walking workers in index order and each lane in insertion
+/// order — because workers own ascending shards, that concatenation is
+/// exactly the sequential engine's send order — and the counting scatter
+/// then reads the lanes in the same order.
+///
+/// **Determinism contract:** for any protocol that obeys the faithfulness
+/// rules in process.h (each process touches only its own node's state),
+/// every observable is bit-identical at every thread count: inbox contents
+/// and per-node delivery order, node processing order, `PhaseStats`,
+/// `total_rounds` / `total_messages`, charged labels, and validation
+/// diagnostics. The only thing parallel mode may change is which thread a
+/// callback runs on — so process code must be race-free across *different*
+/// nodes (the faithfulness contract already requires that; a process that
+/// mutates state shared between nodes is outside the CONGEST model).
+///
+/// `set_threads(1)` (the default) is the unchanged sequential engine with
+/// zero synchronization; `set_threads(0)` resolves to the hardware
+/// concurrency. The thread count may be changed between phases at will.
 #pragma once
 
 #include <cstdint>
@@ -71,8 +103,27 @@
 #include "congest/message.h"
 #include "congest/process.h"
 #include "graph/graph.h"
+#include "util/worker_pool.h"
 
 namespace lcs::congest {
+
+/// One worker's private send-side state in parallel mode. Sends append the
+/// payload to `fill` and the destination to the parallel `fill_to`;
+/// wakeups append to `wakes` (duplicates allowed — the merge dedupes via
+/// the epoch stamps). Capacities persist across rounds and phases, like
+/// the sequential slabs. Over-aligned so adjacent lanes' vector headers
+/// never share a cache line.
+struct alignas(128) SendLane {
+  std::vector<Incoming> fill;
+  std::vector<NodeId> fill_to;
+  std::vector<NodeId> wakes;
+
+  void clear() {
+    fill.clear();
+    fill_to.clear();
+    wakes.clear();
+  }
+};
 
 /// Round/message counts for one phase.
 struct PhaseStats {
@@ -128,6 +179,16 @@ class Network {
   void set_validate(bool on) { validate_ = on; }
   bool validate() const { return validate_; }
 
+  /// Number of worker threads that execute process callbacks. 1 (the
+  /// default) is the sequential engine; 0 resolves to the hardware
+  /// concurrency; k > 1 runs each round's active set in k contiguous
+  /// shards on a persistent worker pool. Bit-identical observables at
+  /// every thread count — see the "Parallel mode" header comment for the
+  /// determinism contract. May be called between phases at any time.
+  void set_threads(int threads);
+  /// The resolved thread count (never 0).
+  int threads() const { return threads_; }
+
   /// Account `rounds` additional rounds of explicitly-charged coordination.
   /// Labels are aggregated for reporting. Conventional labels:
   ///   "seed-broadcast" — flooding a shared random seed from the root;
@@ -170,8 +231,9 @@ class Network {
   };
 
   void do_send(NodeId from, EdgeId e, const Message& m,
-               std::span<const Graph::Neighbor> from_neighbors);
-  void do_wake(NodeId v);
+               std::span<const Graph::Neighbor> from_neighbors,
+               SendLane* lane);
+  void do_wake(NodeId v, SendLane* lane);
   /// The 31-bit view of `tick_` that `NodeState::stamp` compares against.
   std::int32_t tick32() const {
     return static_cast<std::int32_t>(tick_ & 0x7fffffff);
@@ -192,6 +254,28 @@ class Network {
   /// per-active-node `spans_` into it via a counting scatter through
   /// per-node cursors; returns the ordered message array.
   const Incoming* cursor_scatter(std::size_t nmsg);
+
+  /// Shared first half of both scatters: build `spans_` and turn each
+  /// active node's `NodeState::count` into its write cursor; grow the
+  /// ordered slab to `nmsg`.
+  void build_spans(std::size_t nmsg);
+  /// Scatter one contiguous block of (payload, destination) pairs through
+  /// the node-state cursors into the ordered slab.
+  void scatter_block(const Incoming* fill, const NodeId* fill_to,
+                     std::size_t count);
+  /// Parallel-mode scatter: like `cursor_scatter`, but reading the worker
+  /// lanes in worker order (their concatenation is the sequential fill
+  /// order, so the result is bit-identical).
+  const Incoming* scatter_lanes(std::size_t nmsg);
+  /// Parallel-mode promotion step: replay every lane's sends and wakeups
+  /// into the shared per-node state exactly as the sequential send path
+  /// would have (same counts, same next-active set, same double-send
+  /// diagnostics), walking lanes in (worker, insertion) order.
+  void merge_lanes();
+  /// Run one round's `on_round` callbacks on the pool, each worker over a
+  /// contiguous weight-balanced shard of `active_`.
+  void deliver_parallel(std::span<Process* const> procs,
+                        const Incoming* ordered, std::int64_t round);
 
   // Message arenas. Sends append the payload to `slab_fill_` and the
   // destination to the parallel `slab_fill_to_` (send order); round
@@ -219,6 +303,14 @@ class Network {
   std::vector<NodeId> radix_scratch_;
   std::vector<Process*> proc_scratch_;
 
+  // Parallel mode: resolved thread count (1 = sequential), the persistent
+  // worker team, one send lane per worker, and the per-round shard
+  // boundaries into `active_` (size threads_ + 1).
+  int threads_ = 1;
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<SendLane> lanes_;
+  std::vector<std::size_t> shard_bounds_;
+
   std::int64_t phase_messages_ = 0;
 
   std::int64_t total_rounds_ = 0;
@@ -230,9 +322,9 @@ class Network {
 // entry point inlines into process code; the sender's neighbor span rides
 // along to resolve the destination from cache-warm adjacency.
 inline void Context::send(EdgeId e, const Message& m) {
-  net_.do_send(id_, e, m, neighbors_);
+  net_.do_send(id_, e, m, neighbors_, lane_);
 }
-inline void Context::wake_next_round() { net_.do_wake(id_); }
+inline void Context::wake_next_round() { net_.do_wake(id_, lane_); }
 
 /// Convenience: run a phase over a vector of concrete processes. The
 /// pointer view is built in `Network`-owned scratch, so repeated phases on

@@ -1,7 +1,5 @@
 #include "shortcut/superstep.h"
 
-#include <unordered_map>
-
 #include "shortcut/tree_routing.h"
 #include "util/check.h"
 
@@ -118,27 +116,37 @@ void run_superstep(congest::Network& net, const SpanningTree& tree,
   }
 
   // 2. Convergecast within components; roots hold the per-component result.
-  //    (The map is keyed by (root, part); each entry is written and read
-  //    only through that root's callbacks, so it is per-node state.)
-  std::unordered_map<std::uint64_t, std::uint64_t> root_agg;
-  auto key = [](NodeId v, PartId j) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) << 32) |
-           static_cast<std::uint32_t>(j);
-  };
+  //    Keyed by (root, part) — a root may close components of several
+  //    parts — but indexed *per root node*, not in one shared map: every
+  //    slot is written and read only through that root's own callbacks, so
+  //    this is genuine per-node state and stays race-free when the engine
+  //    runs callbacks for different nodes on different workers (a shared
+  //    hash map would race on rehash when two roots finish in one round).
+  std::vector<std::vector<std::pair<PartId, std::uint64_t>>> root_agg(
+      static_cast<std::size_t>(net.num_nodes()));
   run_component_convergecast(
       net, tree, state.shortcut, state.root_depth_on_edge, hooks.contribution,
       hooks.combine,
       [&](NodeId root, PartId j, std::uint64_t agg) {
-        root_agg[key(root, j)] = agg;
+        auto& slots = root_agg[static_cast<std::size_t>(root)];
+        for (auto& [part, value] : slots) {
+          if (part == j) {
+            value = agg;
+            return;
+          }
+        }
+        slots.emplace_back(j, agg);
       });
 
   // 3. Broadcast the aggregates back down the components.
   run_component_broadcast(
       net, tree, state.shortcut,
       [&](NodeId root, PartId j) -> std::uint64_t {
-        const auto it = root_agg.find(key(root, j));
-        LCS_CHECK(it != root_agg.end(), "missing aggregate at component root");
-        return it->second;
+        for (const auto& [part, value] :
+             root_agg[static_cast<std::size_t>(root)])
+          if (part == j) return value;
+        LCS_CHECK(false, "missing aggregate at component root");
+        return 0;
       },
       [&](NodeId v, PartId j, std::uint64_t value, std::int32_t) {
         hooks.on_aggregate(v, j, value);

@@ -1,0 +1,285 @@
+/// \file parallel_determinism_test.cpp
+/// The parallel engine's determinism contract (network.h, "Parallel
+/// mode"): at every thread count, `PhaseStats`, per-node inbox contents,
+/// delivery order, the accounting totals, and the validation diagnostics
+/// must be bit-identical to the sequential engine — which in turn matches
+/// the historical vector-of-vectors reference. Exercised on the PR-1
+/// randomized stress harness (stress_util.h) over several topologies, on
+/// multi-phase reuse of one Network, on aborted phases, on mid-life thread
+/// count switches, and end to end on the shortcut-Boruvka MST pipeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "congest/network.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "mst/boruvka_shortcut.h"
+#include "stress_util.h"
+#include "test_util.h"
+#include "util/check.h"
+
+namespace lcs {
+namespace {
+
+using congest::Context;
+using congest::Incoming;
+using congest::Message;
+using congest::Network;
+using congest::PhaseStats;
+using congest::Process;
+using testutil::DeliveryRecord;
+using testutil::reference_run;
+using testutil::StressBehavior;
+using testutil::StressProcess;
+
+/// Everything one stress run observes: per-phase stats, per-node delivery
+/// logs (one vector per node, in delivery order), and the accounting
+/// totals after all phases.
+struct StressObservation {
+  std::vector<PhaseStats> phase_stats;
+  std::vector<std::vector<DeliveryRecord>> logs;
+  std::int64_t total_rounds = 0;
+  std::int64_t total_messages = 0;
+};
+
+/// Run `phases` stress phases on one Network at the given thread count.
+/// Multiple phases on one Network exercise the epoch-stamped reuse of all
+/// per-phase state, including the lane slabs.
+StressObservation run_stress(const Graph& g, int threads, bool validate,
+                             int phases = 3) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  StressObservation obs;
+  obs.logs.resize(n);
+  Network net(g);
+  net.set_validate(validate);
+  net.set_threads(threads);
+  for (int phase = 0; phase < phases; ++phase) {
+    const StressBehavior behavior{0x5eed0000 + static_cast<std::uint64_t>(phase)};
+    std::vector<StressProcess> procs;
+    procs.reserve(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      procs.emplace_back(v, behavior, &obs.logs[static_cast<std::size_t>(v)]);
+    obs.phase_stats.push_back(congest::run_phase(net, procs));
+  }
+  obs.total_rounds = net.total_rounds();
+  obs.total_messages = net.total_messages();
+  return obs;
+}
+
+void expect_identical(const StressObservation& got,
+                      const StressObservation& want, int threads) {
+  ASSERT_EQ(got.phase_stats.size(), want.phase_stats.size());
+  for (std::size_t p = 0; p < want.phase_stats.size(); ++p) {
+    EXPECT_EQ(got.phase_stats[p].rounds, want.phase_stats[p].rounds)
+        << "threads=" << threads << " phase " << p;
+    EXPECT_EQ(got.phase_stats[p].messages, want.phase_stats[p].messages)
+        << "threads=" << threads << " phase " << p;
+  }
+  EXPECT_EQ(got.total_rounds, want.total_rounds) << "threads=" << threads;
+  EXPECT_EQ(got.total_messages, want.total_messages) << "threads=" << threads;
+  ASSERT_EQ(got.logs, want.logs) << "threads=" << threads;
+}
+
+/// The acceptance matrix: sequential observation (itself checked against
+/// the historical reference engine) vs 2, 3, and 8 threads.
+void run_determinism_matrix(const Graph& g, bool validate) {
+  const StressObservation seq = run_stress(g, /*threads=*/1, validate);
+
+  // Anchor the sequential engine to the vector-of-vectors ground truth on
+  // the first phase's workload.
+  std::vector<std::vector<DeliveryRecord>> ref_logs(
+      static_cast<std::size_t>(g.num_nodes()));
+  const PhaseStats ref = reference_run(g, StressBehavior{0x5eed0000}, ref_logs);
+  EXPECT_EQ(seq.phase_stats.front().rounds, ref.rounds);
+  EXPECT_EQ(seq.phase_stats.front().messages, ref.messages);
+
+  for (const int threads : {2, 3, 8}) {
+    const StressObservation par = run_stress(g, threads, validate);
+    expect_identical(par, seq, threads);
+  }
+}
+
+TEST(ParallelDeterminism, MatchesSequentialOnGrid) {
+  run_determinism_matrix(make_grid(9, 7), /*validate=*/true);
+}
+
+TEST(ParallelDeterminism, MatchesSequentialOnErdosRenyi) {
+  run_determinism_matrix(make_erdos_renyi(150, 0.06, 11), /*validate=*/true);
+}
+
+TEST(ParallelDeterminism, MatchesSequentialOnWheelHub) {
+  // The hub's degree exceeds the send path's adjacency-scan cutoff, so the
+  // workers also take the O(1) endpoint-lookup branch.
+  run_determinism_matrix(make_wheel(40), /*validate=*/true);
+}
+
+TEST(ParallelDeterminism, MatchesSequentialWithValidationOff) {
+  run_determinism_matrix(make_grid(8, 8), /*validate=*/false);
+}
+
+TEST(ParallelDeterminism, HardwareConcurrencyRequestMatchesSequential) {
+  // set_threads(0) resolves to the hardware concurrency — whatever that
+  // is on this machine, the observables must not change.
+  const Graph g = make_erdos_renyi(120, 0.06, 7);
+  Network probe(g);
+  probe.set_threads(0);
+  EXPECT_GE(probe.threads(), 1);
+  const StressObservation seq = run_stress(g, 1, /*validate=*/true);
+  const StressObservation hw = run_stress(g, 0, /*validate=*/true);
+  expect_identical(hw, seq, probe.threads());
+}
+
+TEST(ParallelDeterminism, ThreadCountSwitchesMidLifeKeepObservables) {
+  // One Network, one phase per thread count, in an order that both grows
+  // and shrinks the pool. Every phase must reproduce the stats and logs of
+  // the corresponding all-sequential run.
+  const Graph g = make_grid(10, 6);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const StressObservation seq = run_stress(g, 1, /*validate=*/true, 4);
+
+  StressObservation got;
+  got.logs.resize(n);
+  Network net(g);
+  const int schedule[] = {1, 4, 2, 8};
+  for (int phase = 0; phase < 4; ++phase) {
+    net.set_threads(schedule[phase]);
+    const StressBehavior behavior{0x5eed0000 + static_cast<std::uint64_t>(phase)};
+    std::vector<StressProcess> procs;
+    procs.reserve(n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      procs.emplace_back(v, behavior, &got.logs[static_cast<std::size_t>(v)]);
+    got.phase_stats.push_back(congest::run_phase(net, procs));
+  }
+  got.total_rounds = net.total_rounds();
+  got.total_messages = net.total_messages();
+  expect_identical(got, seq, /*threads=*/-1);
+}
+
+// ---------------------------------------------------------------------------
+// CONGEST faithfulness checks in parallel mode: the same violations that
+// the sequential engine diagnoses must be diagnosed at every thread count
+// (the double-send check runs in the deterministic lane merge; the
+// incidence checks run inside the workers).
+
+class DoubleSendProcess final : public Process {
+ public:
+  explicit DoubleSendProcess(NodeId id) : id_(id) {}
+  void on_start(Context& ctx) override {
+    if (id_ != 0) return;
+    ctx.send(ctx.neighbors().front().edge, Message(1));
+    ctx.send(ctx.neighbors().front().edge, Message(2));
+  }
+  void on_round(Context&, std::span<const Incoming>) override {}
+
+ private:
+  NodeId id_;
+};
+
+class ForeignEdgeProcess final : public Process {
+ public:
+  explicit ForeignEdgeProcess(NodeId id) : id_(id) {}
+  void on_start(Context& ctx) override {
+    if (id_ == 0) ctx.send(1, Message(1));  // edge 1 connects nodes 1-2
+  }
+  void on_round(Context&, std::span<const Incoming>) override {}
+
+ private:
+  NodeId id_;
+};
+
+TEST(ParallelValidation, DoubleSendThrowsAtEveryThreadCount) {
+  const Graph g = make_path(4);
+  for (const int threads : {2, 3, 8}) {
+    Network net(g);
+    net.set_threads(threads);
+    std::vector<DoubleSendProcess> procs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+    EXPECT_THROW(congest::run_phase(net, procs), CheckFailure)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelValidation, NonIncidentSendThrowsAtEveryThreadCount) {
+  const Graph g = make_path(3);
+  for (const int threads : {2, 8}) {
+    Network net(g);
+    net.set_threads(threads);
+    std::vector<ForeignEdgeProcess> procs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+    EXPECT_THROW(congest::run_phase(net, procs), CheckFailure)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelValidation, ValidationOffDeliversViolationLikeSequential) {
+  // With validation off the parallel engine, like the sequential one,
+  // skips the checks entirely and delivers both messages.
+  const Graph g = make_path(2);
+  Network net(g);
+  net.set_validate(false);
+  net.set_threads(3);
+  std::vector<DoubleSendProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+  const PhaseStats stats = congest::run_phase(net, procs);
+  EXPECT_EQ(stats.messages, 2);
+}
+
+TEST(ParallelValidation, RecoversAfterAbortedParallelPhase) {
+  // An aborted parallel phase leaves messages in the worker lanes; the
+  // next run on the same Network must start clean — at any thread count.
+  const Graph g = make_path(4);
+  Network net(g);
+  net.set_threads(3);
+  {
+    std::vector<DoubleSendProcess> procs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
+    EXPECT_THROW(congest::run_phase(net, procs), CheckFailure);
+  }
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::vector<DeliveryRecord>> logs(n);
+  const StressBehavior behavior{0x5eed0000};
+  std::vector<StressProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    procs.emplace_back(v, behavior, &logs[static_cast<std::size_t>(v)]);
+  const PhaseStats got = congest::run_phase(net, procs);
+
+  std::vector<std::vector<DeliveryRecord>> want_logs(n);
+  const PhaseStats want = reference_run(g, behavior, want_logs);
+  EXPECT_EQ(got.rounds, want.rounds);
+  EXPECT_EQ(got.messages, want.messages);
+  EXPECT_EQ(logs, want_logs);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end pipeline invariance: the shortcut-Boruvka MST — BFS tree
+// build, FindShortcut with doubling, MWOE routing, merges — on a
+// multi-threaded Network must reproduce the sequential run bit for bit:
+// same tree, same MST, same phase/round/message accounting.
+
+TEST(ParallelPipeline, ShortcutMstIsThreadCountInvariant) {
+  const Graph g = with_random_weights(make_grid(7, 7), 1, 1000, 3);
+  const MstResult truth = kruskal_mst(g);
+
+  testutil::Sim seq(g, 0, /*threads=*/1);
+  const DistributedMst want = mst_boruvka_shortcut(seq.net, seq.tree);
+
+  for (const int threads : {2, 3, 8}) {
+    testutil::Sim sim(g, 0, threads);
+    EXPECT_EQ(sim.tree.parent, seq.tree.parent) << "threads=" << threads;
+    EXPECT_EQ(sim.tree.depth, seq.tree.depth) << "threads=" << threads;
+    const DistributedMst got = mst_boruvka_shortcut(sim.net, sim.tree);
+    EXPECT_EQ(got.edges, truth.edges) << "threads=" << threads;
+    EXPECT_EQ(got.edges, want.edges) << "threads=" << threads;
+    EXPECT_EQ(got.total_weight, want.total_weight) << "threads=" << threads;
+    EXPECT_EQ(got.phases, want.phases) << "threads=" << threads;
+    EXPECT_EQ(got.rounds, want.rounds) << "threads=" << threads;
+    EXPECT_EQ(sim.net.total_rounds(), seq.net.total_rounds())
+        << "threads=" << threads;
+    EXPECT_EQ(sim.net.total_messages(), seq.net.total_messages())
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace lcs

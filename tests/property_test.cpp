@@ -10,7 +10,6 @@
 
 #include "graph/generators.h"
 #include "graph/metrics.h"
-#include "graph/reference.h"
 #include "shortcut/existential.h"
 #include "shortcut/find_shortcut.h"
 #include "shortcut/part_routing.h"
@@ -80,20 +79,43 @@ Scenario make_scenario(const std::string& family, std::uint64_t seed) {
   return {family, make_path(2), make_whole_graph_partition(2), 0};
 }
 
-class PipelineProperty
-    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
-};
+/// (family, seed, engine thread count): every suite below runs once on the
+/// sequential engine and once on a multi-threaded Network, proving the
+/// full pipelines are thread-count-invariant end to end (the engine's
+/// determinism contract, network.h "Parallel mode").
+class PipelineProperty : public ::testing::TestWithParam<
+                             std::tuple<std::string, std::uint64_t, int>> {};
 
 TEST_P(PipelineProperty, Theorem3EndToEnd) {
-  const auto& [family, seed] = GetParam();
+  const auto& [family, seed, threads] = GetParam();
   Scenario sc = make_scenario(family, seed);
   validate_partition(sc.graph, sc.partition);
 
-  Sim sim(sc.graph, sc.root);
+  Sim sim(sc.graph, sc.root, threads);
   FindShortcutParams params;
   params.seed = seed + 1000;
   const FindShortcutResult found =
       find_shortcut_doubling(sim.net, sim.tree, sc.partition, params);
+
+  if (threads > 1) {
+    // Thread-count invariance: the multi-threaded run must reproduce the
+    // sequential run bit for bit — same BFS tree, same shortcut, same
+    // trial/iteration path, same accounting.
+    Sim ref(sc.graph, sc.root, /*threads=*/1);
+    const FindShortcutResult want =
+        find_shortcut_doubling(ref.net, ref.tree, sc.partition, params);
+    EXPECT_EQ(sim.tree.parent, ref.tree.parent);
+    EXPECT_EQ(sim.tree.depth, ref.tree.depth);
+    EXPECT_EQ(found.state.shortcut.parts_on_edge,
+              want.state.shortcut.parts_on_edge);
+    EXPECT_EQ(found.stats.iterations, want.stats.iterations);
+    EXPECT_EQ(found.stats.trials, want.stats.trials);
+    EXPECT_EQ(found.stats.used_c, want.stats.used_c);
+    EXPECT_EQ(found.stats.used_b, want.stats.used_b);
+    EXPECT_EQ(found.stats.rounds, want.stats.rounds);
+    EXPECT_EQ(sim.net.total_rounds(), ref.net.total_rounds());
+    EXPECT_EQ(sim.net.total_messages(), ref.net.total_messages());
+  }
 
   // Structure.
   validate_shortcut(sc.graph, sim.tree, sc.partition, found.state.shortcut);
@@ -146,22 +168,35 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values("grid-blobs", "grid-rows", "grid-snake", "torus",
                           "genus4", "erdos-renyi", "wheel-arcs",
                           "lower-bound", "maze"),
-        ::testing::Values(1ULL, 2ULL, 3ULL)),
+        ::testing::Values(1ULL, 2ULL, 3ULL), ::testing::Values(1, 3)),
     [](const ::testing::TestParamInfo<PipelineProperty::ParamType>& info) {
       std::string name = std::get<0>(info.param);
       for (auto& ch : name)
         if (ch == '-') ch = '_';
-      return name + "_seed" + std::to_string(std::get<1>(info.param));
+      return name + "_seed" + std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
     });
 
-class ExistentialProperty
-    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+class ExistentialProperty : public ::testing::TestWithParam<
+                                std::tuple<std::string, std::uint64_t, int>> {
 };
 
 TEST_P(ExistentialProperty, GreedyGeometryInvariants) {
-  const auto& [family, seed] = GetParam();
+  const auto& [family, seed, threads] = GetParam();
   Scenario sc = make_scenario(family, seed);
-  const SpanningTree tree = reference_bfs_tree(sc.graph, sc.root);
+  // Build the tree distributedly on the requested thread count; the
+  // engine's determinism contract makes it identical to the sequential
+  // build, which pins the greedy sweep below to the same tree at every
+  // thread count.
+  Sim sim(sc.graph, sc.root, threads);
+  const SpanningTree& tree = sim.tree;
+  if (threads > 1) {
+    Sim ref(sc.graph, sc.root, /*threads=*/1);
+    ASSERT_EQ(tree.parent, ref.tree.parent);
+    ASSERT_EQ(tree.depth, ref.tree.depth);
+    ASSERT_EQ(sim.net.total_rounds(), ref.net.total_rounds());
+    ASSERT_EQ(sim.net.total_messages(), ref.net.total_messages());
+  }
 
   const auto points = pareto_sweep(sc.graph, tree, sc.partition);
   ASSERT_FALSE(points.empty());
@@ -183,12 +218,13 @@ INSTANTIATE_TEST_SUITE_P(
     Families, ExistentialProperty,
     ::testing::Combine(::testing::Values("grid-blobs", "torus", "genus4",
                                          "erdos-renyi", "lower-bound"),
-                       ::testing::Values(5ULL, 6ULL)),
+                       ::testing::Values(5ULL, 6ULL), ::testing::Values(1, 4)),
     [](const ::testing::TestParamInfo<ExistentialProperty::ParamType>& info) {
       std::string name = std::get<0>(info.param);
       for (auto& ch : name)
         if (ch == '-') ch = '_';
-      return name + "_seed" + std::to_string(std::get<1>(info.param));
+      return name + "_seed" + std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
     });
 
 }  // namespace

@@ -19,13 +19,18 @@
 namespace lcs::testutil {
 
 /// Graph + simulator + distributed BFS tree, ready for shortcut phases.
+/// `threads` selects the engine's worker count (Network::set_threads) and
+/// is applied before the BFS construction so the tree build itself runs on
+/// the requested thread count too.
 struct Sim {
   const Graph* graph;
   congest::Network net;
   SpanningTree tree;
 
-  explicit Sim(const Graph& g, NodeId root = 0)
-      : graph(&g), net(g), tree(build_bfs_tree(net, root)) {}
+  explicit Sim(const Graph& g, NodeId root = 0, int threads = 1)
+      : graph(&g),
+        net(g),
+        tree((net.set_threads(threads), build_bfs_tree(net, root))) {}
 };
 
 /// One block component of a part, computed centrally.
