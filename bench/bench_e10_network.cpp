@@ -57,10 +57,11 @@ class FloodProcess final : public Process {
 };
 
 void run_flood(benchmark::State& state, const Graph& g, bool validate,
-               int threads = 1) {
+               int threads = 1, std::int64_t threshold = -1) {
   Network net(g);
   net.set_validate(validate);
   net.set_threads(threads);
+  if (threshold >= 0) net.set_parallel_round_threshold(threshold);
   std::int64_t phases = 0;
   PhaseStats last{};
   for (auto _ : state) {
@@ -164,19 +165,29 @@ int register_all = [] {
                                  run_flood(s, g, /*validate=*/true);
                                })
       ->Unit(benchmark::kMillisecond)->UseRealTime();
-  // 316x316 grid (~100k nodes): high-diameter, small active set per round.
-  benchmark::RegisterBenchmark("E10/flood/grid/99856",
+  // 316x316 grid (~100k nodes): high-diameter, small active set per
+  // round. The thread sweep is the adaptive-fallback acceptance workload:
+  // its 630 tiny rounds all sit below the threshold, so every threaded
+  // point must track the sequential wall time (PR 2 paid 1.8x fork-join
+  // overhead here).
+  for (const int threads : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("E10/flood/grid/99856/threads:" + std::to_string(threads)).c_str(),
+        [threads](benchmark::State& s) {
+          const Graph g = make_grid(316, 316);
+          run_flood(s, g, /*validate=*/false, threads);
+        })
+        ->Unit(benchmark::kMillisecond)->UseRealTime();
+  }
+  // The same worst case with the fallback disabled (threshold 0): what
+  // per-round fork-join overhead still costs when every tiny round is
+  // forced through the parallel path — the number the threshold is
+  // calibrated against.
+  benchmark::RegisterBenchmark("E10/flood/grid/99856/threads:4/no-fallback",
                                [](benchmark::State& s) {
                                  const Graph g = make_grid(316, 316);
-                                 run_flood(s, g, /*validate=*/false);
-                               })
-      ->Unit(benchmark::kMillisecond)->UseRealTime();
-  // Grid flood at 4 threads: small active sets per round, so this is the
-  // worst case for per-round fork-join overhead.
-  benchmark::RegisterBenchmark("E10/flood/grid/99856/threads:4",
-                               [](benchmark::State& s) {
-                                 const Graph g = make_grid(316, 316);
-                                 run_flood(s, g, /*validate=*/false, 4);
+                                 run_flood(s, g, /*validate=*/false, 4,
+                                           /*threshold=*/0);
                                })
       ->Unit(benchmark::kMillisecond)->UseRealTime();
   // Validation on + 4 threads: the faithfulness checks split between the

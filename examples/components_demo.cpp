@@ -24,6 +24,7 @@ int main() {
   const Graph g = make_random_maze(24, 24, 0.35, 7);
 
   Table out({"failed links", "islands", "phases", "rounds", "matches oracle"});
+  bool all_match = true;
   for (const double failure_rate : {0.0, 0.2, 0.4, 0.6}) {
     Rng rng(42);
     std::vector<bool> alive(static_cast<std::size_t>(g.num_edges()));
@@ -38,7 +39,8 @@ int main() {
     const ComponentsResult result =
         distributed_components(net, tree, alive, 99);
 
-    // Verify against the centralized union-find oracle.
+    // Verify against the centralized union-find oracle; a mismatch fails
+    // the run (CI smoke-runs this binary).
     const auto truth = connected_components(g, alive);
     bool match = true;
     for (NodeId v = 0; match && v < g.num_nodes(); ++v)
@@ -56,8 +58,14 @@ int main() {
         .cell(static_cast<std::int64_t>(result.phases))
         .cell(result.rounds)
         .cell(std::string(match ? "yes" : "NO"));
+    all_match = all_match && match;
   }
   out.print(std::cout);
+  if (!all_match) {
+    std::cout << "\nORACLE MISMATCH — distributed labels disagree with the "
+                 "centralized components.\n";
+    return 1;
+  }
   std::cout << "\nEvery island agreed on a label using shortcut-based "
                "Boruvka over the surviving logical subgraph.\n";
   return 0;

@@ -74,12 +74,34 @@ int main() {
   for (NodeId v = 0; v < n; ++v)
     ids[static_cast<std::size_t>(v)] = static_cast<std::uint64_t>(v);
   const std::int64_t before_intra = net.total_rounds();
-  intra_part_min_flood(net, parts, neighbor_parts, ids);
+  const auto flood_mins = intra_part_min_flood(net, parts, neighbor_parts, ids);
   const std::int64_t intra_rounds = net.total_rounds() - before_intra;
 
   std::cout << "\nleader election rounds: with shortcut = " << shortcut_rounds
             << ", intra-part flooding = " << intra_rounds << "\n";
   std::cout << "leader of part 0 (known to every member): "
             << leaders[0] << "\n";
+
+  // Oracle check (CI smoke-runs this binary): every member must have
+  // learned the true minimum id of its part, by either mechanism.
+  std::vector<NodeId> truth(static_cast<std::size_t>(parts.num_parts),
+                            kNoNode);
+  for (NodeId v = 0; v < n; ++v) {
+    const PartId j = parts.part(v);
+    if (j == kNoPart) continue;
+    auto& best = truth[static_cast<std::size_t>(j)];
+    if (best == kNoNode || v < best) best = v;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const PartId j = parts.part(v);
+    if (j == kNoPart) continue;
+    const auto want = truth[static_cast<std::size_t>(j)];
+    if (leaders[static_cast<std::size_t>(v)] != want ||
+        flood_mins[static_cast<std::size_t>(v)] !=
+            static_cast<std::uint64_t>(want)) {
+      std::cout << "ORACLE MISMATCH at node " << v << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

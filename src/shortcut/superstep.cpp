@@ -122,6 +122,13 @@ void run_superstep(congest::Network& net, const SpanningTree& tree,
   //    this is genuine per-node state and stays race-free when the engine
   //    runs callbacks for different nodes on different workers (a shared
   //    hash map would race on rehash when two roots finish in one round).
+  //    This holds regardless of the engine's round path: with parallel
+  //    promotion the aggregation rounds of large instances run delivery
+  //    and merge on the pool, while the many tiny superstep phases (the
+  //    one-round cross exchange, per-component cast tails) take the
+  //    engine's sequential fallback — per-node slots are the contract
+  //    that keeps both paths observably identical, so the accounting
+  //    (rounds, messages, charge labels) never depends on thread count.
   std::vector<std::vector<std::pair<PartId, std::uint64_t>>> root_agg(
       static_cast<std::size_t>(net.num_nodes()));
   run_component_convergecast(

@@ -9,10 +9,21 @@
 /// any state the caller wrote before `run` and the caller may read anything
 /// the workers wrote after it (the internal mutex orders both directions).
 ///
+/// `run_staged(stages, fn)` is the multi-stage variant used for
+/// parallel-prefix-shaped work (count → scan → scatter): it invokes
+/// `fn(s, w)` for every stage s in order with a full barrier between
+/// consecutive stages, so stage s+1 may read anything any worker wrote in
+/// stage s. Equivalent to `stages` back-to-back `run` calls, but the team
+/// is woken once and synchronizes at an internal barrier instead of
+/// sleeping and re-waking between stages.
+///
 /// Exceptions thrown inside a job are captured per worker; after the join,
 /// the exception from the lowest worker index is rethrown on the calling
 /// thread (the others are discarded). Workers always run their slice to
-/// completion or to their own exception — there is no cancellation.
+/// completion or to their own exception — there is no cancellation. In a
+/// staged job a worker whose stage threw skips its own later stages but
+/// still participates in every barrier, so the other workers never block
+/// on it.
 #pragma once
 
 #include <condition_variable>
@@ -54,8 +65,24 @@ class WorkerPool {
             const_cast<void*>(static_cast<const void*>(&fn)));
   }
 
+  /// Run `fn(s, w)` for every stage s in [0, stages), all workers, with a
+  /// full barrier between consecutive stages (see the header comment).
+  /// Serial sections are expressed as a stage whose body is gated on
+  /// `w == 0`. Dispatched through the same raw-pointer path as `run`, so a
+  /// capturing lambda never heap-allocates.
+  template <class Fn>
+  void run_staged(int stages, Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    run_staged_raw(
+        [](void* ctx, int s, int w) { (*static_cast<F*>(ctx))(s, w); },
+        const_cast<void*>(static_cast<const void*>(&fn)), stages);
+  }
+
  private:
   void run_raw(void (*job)(void*, int), void* ctx);
+  void run_staged_raw(void (*fn)(void*, int, int), void* ctx, int stages);
+  /// Block until all `size()` workers of the current job arrive.
+  void stage_barrier();
   void worker_main(int index);
 
   int num_workers_;
@@ -70,6 +97,12 @@ class WorkerPool {
   int remaining_ = 0;             // workers still running the current job
   bool shutdown_ = false;
   std::vector<std::exception_ptr> errors_;  // one slot per worker
+
+  // Stage barrier for run_staged (guarded by mu_): arrivals count up to
+  // size(), the last arrival resets the count and bumps the epoch.
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_epoch_ = 0;
 };
 
 }  // namespace lcs

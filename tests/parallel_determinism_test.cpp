@@ -43,19 +43,40 @@ struct StressObservation {
   std::int64_t total_messages = 0;
 };
 
-/// Run `phases` stress phases on one Network at the given thread count.
-/// Multiple phases on one Network exercise the epoch-stamped reuse of all
-/// per-phase state, including the lane slabs.
-StressObservation run_stress(const Graph& g, int threads, bool validate,
-                             int phases = 3) {
+/// Variations of one stress run that must not change any observable.
+struct StressOptions {
+  int threads = 1;
+  bool validate = true;
+  int phases = 3;
+  /// Adaptive-fallback threshold: 0 pins every round to the parallel
+  /// promotion path; kDefaultParallelRoundThreshold leaves the engine's
+  /// own tiny-round fallback in charge; small positive values make rounds
+  /// flip between the paths inside one phase.
+  std::int64_t threshold = Network::kDefaultParallelRoundThreshold;
+  /// Send/wake dice (see StressBehavior); the default is the PR-1 load.
+  std::uint64_t start_send_mod = 4;
+  std::uint64_t round_send_mod = 3;
+  std::uint64_t wake_mod = 4;
+};
+
+StressBehavior behavior_for(const StressOptions& opt, int phase) {
+  return StressBehavior{0x5eed0000 + static_cast<std::uint64_t>(phase),
+                        opt.start_send_mod, opt.round_send_mod, opt.wake_mod};
+}
+
+/// Run `opt.phases` stress phases on one Network. Multiple phases on one
+/// Network exercise the epoch-stamped reuse of all per-phase state,
+/// including the lane slabs and the per-range merge structures.
+StressObservation run_stress(const Graph& g, const StressOptions& opt) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
   StressObservation obs;
   obs.logs.resize(n);
   Network net(g);
-  net.set_validate(validate);
-  net.set_threads(threads);
-  for (int phase = 0; phase < phases; ++phase) {
-    const StressBehavior behavior{0x5eed0000 + static_cast<std::uint64_t>(phase)};
+  net.set_validate(opt.validate);
+  net.set_threads(opt.threads);
+  net.set_parallel_round_threshold(opt.threshold);
+  for (int phase = 0; phase < opt.phases; ++phase) {
+    const StressBehavior behavior = behavior_for(opt, phase);
     std::vector<StressProcess> procs;
     procs.reserve(n);
     for (NodeId v = 0; v < g.num_nodes(); ++v)
@@ -65,6 +86,13 @@ StressObservation run_stress(const Graph& g, int threads, bool validate,
   obs.total_rounds = net.total_rounds();
   obs.total_messages = net.total_messages();
   return obs;
+}
+
+StressObservation run_stress(const Graph& g, int threads, bool validate,
+                             int phases = 3) {
+  return run_stress(
+      g, StressOptions{.threads = threads, .validate = validate,
+                       .phases = phases});
 }
 
 void expect_identical(const StressObservation& got,
@@ -82,7 +110,11 @@ void expect_identical(const StressObservation& got,
 }
 
 /// The acceptance matrix: sequential observation (itself checked against
-/// the historical reference engine) vs 2, 3, and 8 threads.
+/// the historical reference engine) vs 2, 3, and 8 threads, each at three
+/// fallback thresholds — 0 (every round takes the parallel promotion
+/// path), 48 (rounds flip between the parallel and sequential paths
+/// inside one phase, exercising the lane/fill-slab handovers), and the
+/// default (tiny rounds fall back on their own).
 void run_determinism_matrix(const Graph& g, bool validate) {
   const StressObservation seq = run_stress(g, /*threads=*/1, validate);
 
@@ -95,8 +127,14 @@ void run_determinism_matrix(const Graph& g, bool validate) {
   EXPECT_EQ(seq.phase_stats.front().messages, ref.messages);
 
   for (const int threads : {2, 3, 8}) {
-    const StressObservation par = run_stress(g, threads, validate);
-    expect_identical(par, seq, threads);
+    for (const std::int64_t threshold :
+         {std::int64_t{0}, std::int64_t{48},
+          Network::kDefaultParallelRoundThreshold}) {
+      const StressObservation par = run_stress(
+          g, StressOptions{.threads = threads, .validate = validate,
+                           .threshold = threshold});
+      expect_identical(par, seq, threads);
+    }
   }
 }
 
@@ -126,14 +164,57 @@ TEST(ParallelDeterminism, HardwareConcurrencyRequestMatchesSequential) {
   probe.set_threads(0);
   EXPECT_GE(probe.threads(), 1);
   const StressObservation seq = run_stress(g, 1, /*validate=*/true);
-  const StressObservation hw = run_stress(g, 0, /*validate=*/true);
+  const StressObservation hw = run_stress(
+      g, StressOptions{.threads = 0, .threshold = 0});  // pin parallel path
   expect_identical(hw, seq, probe.threads());
 }
 
+TEST(ParallelPromotion, HeavyTrafficMatchesSequentialEverywhere) {
+  // The parallel-promotion acceptance workload: dense dice on a ~deg-12
+  // random graph give thousands of messages per round and multi-message
+  // inboxes, so the range-partitioned merge, the per-segment sort, and
+  // the parallel counting scatter all run with real work in every bucket.
+  const Graph g = make_erdos_renyi(600, 0.02, 13);
+  const StressOptions seq_opt{.threads = 1, .start_send_mod = 2,
+                              .round_send_mod = 2, .wake_mod = 3};
+  const StressObservation seq = run_stress(g, seq_opt);
+
+  std::vector<std::vector<DeliveryRecord>> ref_logs(
+      static_cast<std::size_t>(g.num_nodes()));
+  const PhaseStats ref =
+      reference_run(g, behavior_for(seq_opt, 0), ref_logs);
+  ASSERT_EQ(seq.phase_stats.front().rounds, ref.rounds);
+  ASSERT_EQ(seq.phase_stats.front().messages, ref.messages);
+
+  for (const int threads : {2, 3, 8}) {
+    for (const bool validate : {true, false}) {
+      StressOptions opt = seq_opt;
+      opt.threads = threads;
+      opt.validate = validate;
+      opt.threshold = 0;
+      expect_identical(run_stress(g, opt), seq, threads);
+    }
+  }
+}
+
+TEST(ParallelPromotion, ThresholdCrossingsInsideOnePhaseMatchSequential) {
+  // Thresholds chosen around the stress workload's per-round volume, so
+  // one phase repeatedly hands the pending sends between the worker lanes
+  // and the sequential fill slab in both directions.
+  const Graph g = make_erdos_renyi(200, 0.04, 9);
+  const StressObservation seq = run_stress(g, 1, /*validate=*/true);
+  for (const std::int64_t threshold : {16, 64, 160, 400, 1000}) {
+    const StressObservation par = run_stress(
+        g, StressOptions{.threads = 3, .threshold = threshold});
+    expect_identical(par, seq, 3);
+  }
+}
+
 TEST(ParallelDeterminism, ThreadCountSwitchesMidLifeKeepObservables) {
-  // One Network, one phase per thread count, in an order that both grows
-  // and shrinks the pool. Every phase must reproduce the stats and logs of
-  // the corresponding all-sequential run.
+  // One Network, one phase per (thread count, fallback threshold) pair,
+  // in an order that grows and shrinks the pool and flips promotion
+  // between the parallel and fallback paths. Every phase must reproduce
+  // the stats and logs of the corresponding all-sequential run.
   const Graph g = make_grid(10, 6);
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const StressObservation seq = run_stress(g, 1, /*validate=*/true, 4);
@@ -142,8 +223,11 @@ TEST(ParallelDeterminism, ThreadCountSwitchesMidLifeKeepObservables) {
   got.logs.resize(n);
   Network net(g);
   const int schedule[] = {1, 4, 2, 8};
+  const std::int64_t thresholds[] = {
+      Network::kDefaultParallelRoundThreshold, 0, 48, 0};
   for (int phase = 0; phase < 4; ++phase) {
     net.set_threads(schedule[phase]);
+    net.set_parallel_round_threshold(thresholds[phase]);
     const StressBehavior behavior{0x5eed0000 + static_cast<std::uint64_t>(phase)};
     std::vector<StressProcess> procs;
     procs.reserve(n);
@@ -193,6 +277,7 @@ TEST(ParallelValidation, DoubleSendThrowsAtEveryThreadCount) {
   for (const int threads : {2, 3, 8}) {
     Network net(g);
     net.set_threads(threads);
+    net.set_parallel_round_threshold(0);  // pin the parallel merge path
     std::vector<DoubleSendProcess> procs;
     for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
     EXPECT_THROW(congest::run_phase(net, procs), CheckFailure)
@@ -205,6 +290,7 @@ TEST(ParallelValidation, NonIncidentSendThrowsAtEveryThreadCount) {
   for (const int threads : {2, 8}) {
     Network net(g);
     net.set_threads(threads);
+    net.set_parallel_round_threshold(0);  // incidence checks in the workers
     std::vector<ForeignEdgeProcess> procs;
     for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
     EXPECT_THROW(congest::run_phase(net, procs), CheckFailure)
@@ -219,6 +305,7 @@ TEST(ParallelValidation, ValidationOffDeliversViolationLikeSequential) {
   Network net(g);
   net.set_validate(false);
   net.set_threads(3);
+  net.set_parallel_round_threshold(0);
   std::vector<DoubleSendProcess> procs;
   for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
   const PhaseStats stats = congest::run_phase(net, procs);
@@ -231,6 +318,7 @@ TEST(ParallelValidation, RecoversAfterAbortedParallelPhase) {
   const Graph g = make_path(4);
   Network net(g);
   net.set_threads(3);
+  net.set_parallel_round_threshold(0);
   {
     std::vector<DoubleSendProcess> procs;
     for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v);
@@ -249,6 +337,179 @@ TEST(ParallelValidation, RecoversAfterAbortedParallelPhase) {
   EXPECT_EQ(got.rounds, want.rounds);
   EXPECT_EQ(got.messages, want.messages);
   EXPECT_EQ(logs, want_logs);
+}
+
+// ---------------------------------------------------------------------------
+// Phase-state guards: knobs that resize or re-route live round state must
+// be unusable from inside a running phase, and a diagnosed attempt must
+// not wedge the network.
+
+class MidPhaseSetThreadsProcess final : public Process {
+ public:
+  MidPhaseSetThreadsProcess(NodeId id, Network* net) : id_(id), net_(net) {}
+  void on_start(Context& ctx) override {
+    if (id_ == 0) ctx.send(ctx.neighbors().front().edge, Message(1));
+  }
+  void on_round(Context&, std::span<const Incoming>) override {
+    net_->set_threads(2);  // documented misuse: must be diagnosed
+  }
+
+ private:
+  NodeId id_;
+  Network* net_;
+};
+
+TEST(NetworkGuards, SetThreadsInsideRunningPhaseThrows) {
+  const Graph g = make_path(4);
+  for (const int threads : {1, 3}) {
+    Network net(g);
+    net.set_threads(threads);
+    net.set_parallel_round_threshold(0);
+    std::vector<MidPhaseSetThreadsProcess> procs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v, &net);
+    try {
+      congest::run_phase(net, procs);
+      FAIL() << "set_threads inside a phase must throw (threads=" << threads
+             << ")";
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find("set_threads"), std::string::npos);
+    }
+    // The guard flag must clear on the aborted phase, so the knob works
+    // again between phases and the network is still usable.
+    net.set_threads(2);
+    std::vector<std::vector<DeliveryRecord>> logs(
+        static_cast<std::size_t>(g.num_nodes()));
+    const StressBehavior behavior{0x5eed0000};
+    std::vector<StressProcess> stress;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      stress.emplace_back(v, behavior, &logs[static_cast<std::size_t>(v)]);
+    const PhaseStats got = congest::run_phase(net, stress);
+    std::vector<std::vector<DeliveryRecord>> want_logs(
+        static_cast<std::size_t>(g.num_nodes()));
+    const PhaseStats want = reference_run(g, behavior, want_logs);
+    EXPECT_EQ(got.rounds, want.rounds);
+    EXPECT_EQ(got.messages, want.messages);
+    EXPECT_EQ(logs, want_logs);
+  }
+}
+
+class MidPhaseSetThresholdProcess final : public Process {
+ public:
+  MidPhaseSetThresholdProcess(NodeId id, Network* net) : id_(id), net_(net) {}
+  void on_start(Context& ctx) override {
+    if (id_ == 0) ctx.send(ctx.neighbors().front().edge, Message(1));
+  }
+  void on_round(Context&, std::span<const Incoming>) override {
+    net_->set_parallel_round_threshold(7);
+  }
+
+ private:
+  NodeId id_;
+  Network* net_;
+};
+
+TEST(NetworkGuards, SetParallelThresholdInsideRunningPhaseThrows) {
+  const Graph g = make_path(3);
+  Network net(g);
+  std::vector<MidPhaseSetThresholdProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v, &net);
+  EXPECT_THROW(congest::run_phase(net, procs), CheckFailure);
+}
+
+// ---------------------------------------------------------------------------
+// Engine limits: a node's per-round inbox count saturating at 2^31 - 1
+// must be diagnosed at the send that would overflow it — on the
+// sequential path and in the parallel merge replay — never wrap silently.
+// NetworkTestPeer primes the counter; actually sending 2^31 messages
+// would need a ~100 GB slab.
+
+class InboxOverflowProcess final : public Process {
+ public:
+  InboxOverflowProcess(NodeId id, Network* net) : id_(id), net_(net) {}
+  void on_start(Context& ctx) override {
+    if (id_ != 0) return;
+    congest::NetworkTestPeer::prime_inbox_count(
+        *net_, ctx.neighbors().front().node, INT32_MAX);
+    ctx.send(ctx.neighbors().front().edge, Message(1));
+  }
+  void on_round(Context&, std::span<const Incoming>) override {}
+
+ private:
+  NodeId id_;
+  Network* net_;
+};
+
+TEST(NetworkLimits, PerNodeInboxOverflowDiagnosedSequential) {
+  const Graph g = make_path(3);
+  Network net(g);
+  std::vector<InboxOverflowProcess> procs;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v, &net);
+  try {
+    congest::run_phase(net, procs);
+    FAIL() << "inbox overflow must be diagnosed";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("engine limit"), std::string::npos);
+  }
+}
+
+TEST(NetworkLimits, PerNodeInboxOverflowDiagnosedInParallelMerge) {
+  const Graph g = make_path(3);
+  for (const int threads : {2, 8}) {
+    Network net(g);
+    net.set_threads(threads);
+    net.set_parallel_round_threshold(0);  // count replay runs in the merge
+    std::vector<InboxOverflowProcess> procs;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) procs.emplace_back(v, &net);
+    try {
+      congest::run_phase(net, procs);
+      FAIL() << "inbox overflow must be diagnosed (threads=" << threads
+             << ")";
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find("engine limit"), std::string::npos);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 31-bit epoch-stamp wrap: stamps written at small tick32 values in an
+// early phase must never alias post-wrap ticks, which count up from small
+// values again. advance_tick's O(n) refill on the wrap is what prevents
+// it; these runs cross the wrap mid-workload and must reproduce an
+// untouched-tick run bit for bit.
+
+TEST(NetworkTickWrap, ObservablesSurviveStampWrapMidRun) {
+  const Graph g = make_erdos_renyi(90, 0.07, 5);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const StressObservation want = run_stress(g, 1, /*validate=*/true);
+
+  for (const int threads : {1, 3}) {
+    StressObservation got;
+    got.logs.resize(n);
+    Network net(g);
+    net.set_threads(threads);
+    if (threads > 1) net.set_parallel_round_threshold(0);
+    for (int phase = 0; phase < 3; ++phase) {
+      if (phase == 1) {
+        // Phase 0 stamped nodes at small tick32 values; restart the epoch
+        // just below the wrap so phases 1-2 cross it while those stale
+        // stamps are still in node_state_.
+        congest::NetworkTestPeer::set_tick(net, (std::int64_t{1} << 31) - 4);
+      }
+      const StressBehavior behavior{0x5eed0000 +
+                                    static_cast<std::uint64_t>(phase)};
+      std::vector<StressProcess> procs;
+      procs.reserve(n);
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        procs.emplace_back(v, behavior, &got.logs[static_cast<std::size_t>(v)]);
+      got.phase_stats.push_back(congest::run_phase(net, procs));
+    }
+    got.total_rounds = net.total_rounds();
+    got.total_messages = net.total_messages();
+    // The run really crossed the wrap (the refill path executed).
+    EXPECT_GT(congest::NetworkTestPeer::tick(net), std::int64_t{1} << 31)
+        << "threads=" << threads;
+    expect_identical(got, want, threads);
+  }
 }
 
 // ---------------------------------------------------------------------------

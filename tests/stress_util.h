@@ -43,16 +43,22 @@ struct DeliveryRecord {
 /// wrapper (real engine) and the reference engine: pseudo-randomly forward
 /// over a hash-chosen subset of incident edges (at most once per edge per
 /// round, as CONGEST requires) and request hash-chosen wakeups, quiescing
-/// by round 25.
+/// by round 25. The moduli are the send/wake dice denominators — the
+/// defaults reproduce the PR-1 workload; smaller values give the denser
+/// traffic the parallel-promotion tests use to get multi-message inboxes
+/// and large per-round volume.
 struct StressBehavior {
   std::uint64_t seed;
+  std::uint64_t start_send_mod = 4;
+  std::uint64_t round_send_mod = 3;
+  std::uint64_t wake_mod = 4;
 
   template <class SendFn, class WakeFn>
   void step(NodeId v, std::int64_t round,
             std::span<const Graph::Neighbor> neighbors, SendFn&& send,
             WakeFn&& wake) const {
     if (round >= 25) return;
-    const std::uint64_t modulus = round < 0 ? 4 : 3;
+    const std::uint64_t modulus = round < 0 ? start_send_mod : round_send_mod;
     for (const auto& nb : neighbors) {
       if (stress_mix(seed, static_cast<std::uint64_t>(v),
                      static_cast<std::uint64_t>(round + 2),
@@ -68,7 +74,7 @@ struct StressBehavior {
     if (round < 20 && stress_mix(seed, static_cast<std::uint64_t>(v),
                                  static_cast<std::uint64_t>(round + 2),
                                  0xabcdefULL) %
-                              4 ==
+                              wake_mod ==
                           0) {
       wake();
     }
