@@ -1,7 +1,9 @@
 /// \file bench_util.h
 /// Shared scaffolding for the experiment benches (see DESIGN.md §4 and
-/// EXPERIMENTS.md): graph/partition families keyed by name, and the
-/// standard simulator setup. Every bench runs each configuration once
+/// EXPERIMENTS.md): the standard simulator setup plus thin wrappers that
+/// resolve the historical bench instances through the scenario registry
+/// (src/scenario/) — benches, examples, tests, CI, and `lcs_run` all share
+/// one scenario vocabulary. Every bench runs each configuration once
 /// (Iterations(1)) — the measured quantities are *round counts and shortcut
 /// quality*, which are deterministic given the seed, not wall time.
 #pragma once
@@ -10,11 +12,13 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "congest/network.h"
 #include "graph/generators.h"
 #include "graph/metrics.h"
 #include "graph/partition.h"
+#include "scenario/scenario.h"
 #include "tree/bfs_tree.h"
 
 namespace lcs::bench {
@@ -26,43 +30,57 @@ struct Instance {
   std::string name;
 };
 
+/// Resolve any scenario spec to a bench instance; `name` overrides the
+/// family name in bench labels.
+inline Instance instance_from_spec(const std::string& spec,
+                                   std::string name = {}) {
+  scenario::Scenario sc = scenario::make_scenario(spec);
+  return {std::move(sc.graph), std::move(sc.partition),
+          name.empty() ? std::move(sc.family) : std::move(name)};
+}
+
 /// side*side nodes; partitions are random connected BFS blobs of ~side
 /// nodes each (so #parts ~ side ~ sqrt(n)).
 inline Instance grid_instance(NodeId side, std::uint64_t seed) {
-  Graph g = make_grid(side, side);
-  Partition p = make_random_bfs_partition(g, side, seed);
-  return {std::move(g), std::move(p), "grid"};
+  return instance_from_spec(
+      "grid:w=" + std::to_string(side) + ",parts=" + std::to_string(side) +
+          ",pseed=" + std::to_string(seed),
+      "grid");
 }
 
 inline Instance torus_instance(NodeId side, std::uint64_t seed) {
-  Graph g = make_torus(side, side);
-  Partition p = make_random_bfs_partition(g, side, seed);
-  return {std::move(g), std::move(p), "torus"};
+  return instance_from_spec(
+      "torus:w=" + std::to_string(side) + ",parts=" + std::to_string(side) +
+          ",pseed=" + std::to_string(seed),
+      "torus");
 }
 
 inline Instance genus_instance(NodeId side, int genus, std::uint64_t seed) {
-  Graph g = make_genus_grid(side, side, genus, seed);
-  Partition p = make_random_bfs_partition(g, side, seed + 1);
-  return {std::move(g), std::move(p), "genus" + std::to_string(genus)};
+  return instance_from_spec(
+      "genus:w=" + std::to_string(side) + ",g=" + std::to_string(genus) +
+          ",seed=" + std::to_string(seed) + ",parts=" + std::to_string(side) +
+          ",pseed=" + std::to_string(seed + 1),
+      "genus" + std::to_string(genus));
 }
 
 inline Instance er_instance(NodeId n, std::uint64_t seed) {
-  Graph g = make_erdos_renyi(n, 6.0 / static_cast<double>(n), seed);
-  Partition p = make_random_bfs_partition(
-      g, std::max<PartId>(2, static_cast<PartId>(std::sqrt(n))), seed + 1);
-  return {std::move(g), std::move(p), "erdos-renyi"};
+  const auto parts = std::max<PartId>(
+      2, static_cast<PartId>(std::sqrt(static_cast<double>(n))));
+  return instance_from_spec(
+      "er:n=" + std::to_string(n) + ",deg=6,seed=" + std::to_string(seed) +
+          ",parts=" + std::to_string(parts) +
+          ",pseed=" + std::to_string(seed + 1),
+      "erdos-renyi");
 }
 
 inline Instance wheel_instance(NodeId n, PartId arcs) {
-  Graph g = make_wheel(n);
-  Partition p = make_cycle_arcs_partition(n, arcs);
-  return {std::move(g), std::move(p), "wheel-arcs"};
+  return instance_from_spec(
+      "wheel:n=" + std::to_string(n) + ",arcs=" + std::to_string(arcs),
+      "wheel-arcs");
 }
 
 inline Instance lower_bound_instance(NodeId k) {
-  Graph g = make_lower_bound_graph(k, k);
-  Partition p = make_lower_bound_partition(k, k, g.num_nodes());
-  return {std::move(g), std::move(p), "lower-bound"};
+  return instance_from_spec("lb:paths=" + std::to_string(k), "lower-bound");
 }
 
 /// Simulator + distributed BFS tree for an instance. Benches measure

@@ -13,15 +13,16 @@
 
 #include "apps/components.h"
 #include "congest/network.h"
-#include "graph/generators.h"
 #include "graph/reference.h"
+#include "scenario/scenario.h"
 #include "tree/bfs_tree.h"
 #include "util/random.h"
 #include "util/table.h"
 
 int main() {
   using namespace lcs;
-  const Graph g = make_random_maze(24, 24, 0.35, 7);
+  const Graph g =
+      scenario::make_scenario("maze:w=24,h=24,keep=0.35,seed=7").graph;
 
   Table out({"failed links", "islands", "phases", "rounds", "matches oracle"});
   bool all_match = true;

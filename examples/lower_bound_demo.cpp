@@ -12,9 +12,9 @@
 #include <iostream>
 
 #include "congest/network.h"
-#include "graph/generators.h"
 #include "graph/metrics.h"
 #include "graph/partition.h"
+#include "scenario/scenario.h"
 #include "shortcut/existential.h"
 #include "shortcut/find_shortcut.h"
 #include "shortcut/shortcut.h"
@@ -49,14 +49,17 @@ int main() {
   };
 
   // The hard instance: paths as parts. Everything funnels through the tree.
-  const Graph hard = make_lower_bound_graph(k, k);
-  report("lower-bound", hard, make_lower_bound_partition(k, k, hard.num_nodes()),
-         hard.num_nodes() - 1);
+  const scenario::Scenario hard =
+      scenario::make_scenario("lb:paths=" + std::to_string(k));
+  report("lower-bound", hard.graph, hard.partition,
+         hard.graph.num_nodes() - 1);
 
   // The benign instance: same scale, grid with row-band parts.
-  const NodeId side = static_cast<NodeId>(std::sqrt(hard.num_nodes())) + 1;
-  const Graph grid = make_grid(side, side);
-  report("grid", grid, make_grid_rows_partition(side, side, 2), 0);
+  const NodeId side =
+      static_cast<NodeId>(std::sqrt(hard.graph.num_nodes())) + 1;
+  const scenario::Scenario grid = scenario::make_scenario(
+      "grid:w=" + std::to_string(side) + ",rows=2");
+  report("grid", grid.graph, grid.partition, 0);
 
   out.print(std::cout);
   std::cout <<

@@ -8,24 +8,27 @@
 
 #include "apps/mincut.h"
 #include "congest/network.h"
-#include "graph/generators.h"
 #include "graph/reference.h"
+#include "scenario/scenario.h"
 #include "tree/bfs_tree.h"
 #include "util/table.h"
 
 int main() {
   using namespace lcs;
 
-  struct Scenario {
+  struct Row {
     std::string name;
     Graph g;
   };
-  std::vector<Scenario> scenarios;
-  scenarios.push_back({"cycle-96 (lambda=2)", make_cycle(96)});
-  scenarios.push_back({"grid-10x10 (lambda=2)", make_grid(10, 10)});
-  scenarios.push_back({"torus-9x9 (lambda=4)", make_torus(9, 9)});
+  std::vector<Row> scenarios;
+  scenarios.push_back({"cycle-96 (lambda=2)",
+                       scenario::make_scenario("cycle:n=96").graph});
+  scenarios.push_back({"grid-10x10 (lambda=2)",
+                       scenario::make_scenario("grid:w=10,h=10").graph});
+  scenarios.push_back({"torus-9x9 (lambda=4)",
+                       scenario::make_scenario("torus:w=9,h=9").graph});
   scenarios.push_back({"dense-ER-64 (lambda~13)",
-                       make_erdos_renyi(64, 0.35, 11)});
+                       scenario::make_scenario("er:n=64,p=0.35,seed=11").graph});
 
   Table out({"graph", "exact lambda", "estimate", "levels", "rounds"});
   for (const auto& sc : scenarios) {

@@ -8,12 +8,12 @@
 #include <iostream>
 
 #include "congest/network.h"
-#include "graph/generators.h"
 #include "graph/metrics.h"
 #include "graph/reference.h"
 #include "mst/boruvka_intra.h"
 #include "mst/boruvka_shortcut.h"
 #include "mst/pipeline.h"
+#include "scenario/scenario.h"
 #include "tree/bfs_tree.h"
 #include "util/table.h"
 
@@ -59,11 +59,15 @@ int main() {
   using namespace lcs;
   Table out({"graph", "algorithm", "n", "D", "rounds", "phases", "weight"});
 
-  run_one(with_random_weights(make_grid(24, 24), 1, 100000, 1),
+  run_one(scenario::make_scenario("grid:w=24,h=24,weights=1-100000,wseed=1")
+              .graph,
           "grid-24x24", out);
-  run_one(with_random_weights(make_genus_grid(24, 24, 8, 7), 1, 100000, 2),
+  run_one(scenario::make_scenario(
+              "genus:w=24,h=24,g=8,seed=7,weights=1-100000,wseed=2")
+              .graph,
           "genus8-24x24", out);
-  run_one(with_random_weights(make_torus(20, 20), 1, 100000, 3),
+  run_one(scenario::make_scenario("torus:w=20,h=20,weights=1-100000,wseed=3")
+              .graph,
           "torus-20x20", out);
 
   out.print(std::cout);

@@ -12,10 +12,10 @@
 #include <iostream>
 
 #include "apps/aggregate.h"
-#include "graph/generators.h"
 #include "graph/metrics.h"
 #include "graph/partition.h"
 #include "mst/intra_flood.h"
+#include "scenario/scenario.h"
 #include "shortcut/shortcut.h"
 #include "tree/bfs_tree.h"
 #include "util/table.h"
@@ -23,13 +23,15 @@
 int main() {
   using namespace lcs;
 
-  // 1. Topology: wheel with 512 rim nodes + hub. Diameter 2.
-  const NodeId n = 513;
-  const Graph g = make_wheel(n);
-
-  // 2. Parts: 8 arcs of ~64 rim nodes each; the hub belongs to no part.
-  //    Each arc's induced diameter is ~64 — 32x the graph diameter.
-  const Partition parts = make_cycle_arcs_partition(n, 8);
+  // 1 + 2. Topology and parts through the scenario registry (the same spec
+  //    drives lcs_run, the benches, and CI): a wheel with 512 rim nodes +
+  //    hub (diameter 2), cut into 8 rim arcs of ~64 nodes each — the hub
+  //    belongs to no part, and each arc's *induced* diameter is ~64, 32x
+  //    the graph diameter.
+  const scenario::Scenario sc = scenario::make_scenario("wheel:n=513,arcs=8");
+  const Graph& g = sc.graph;
+  const Partition& parts = sc.partition;
+  const NodeId n = g.num_nodes();
   validate_partition(g, parts);
 
   std::cout << "wheel: n=" << g.num_nodes() << " m=" << g.num_edges()

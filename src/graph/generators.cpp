@@ -1,10 +1,13 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "graph/metrics.h"
 #include "graph/union_find.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -17,10 +20,20 @@ NodeId grid_node(NodeId width, NodeId row, NodeId col) {
   return row * width + col;
 }
 
+/// Diagnose node/edge counts that overflow the dense 32-bit id space before
+/// any arithmetic wraps (every generator precondition is an LCS_CHECK,
+/// never UB).
+NodeId checked_node_count(std::int64_t n, const char* what) {
+  LCS_CHECK(n <= std::numeric_limits<NodeId>::max(),
+            std::string(what) + " count overflows the 32-bit id space");
+  return static_cast<NodeId>(n);
+}
+
 }  // namespace
 
 Graph make_grid(NodeId width, NodeId height) {
   LCS_CHECK(width >= 1 && height >= 1, "grid dimensions must be positive");
+  checked_node_count(static_cast<std::int64_t>(width) * height, "grid node");
   std::vector<Graph::Edge> edges;
   edges.reserve(static_cast<std::size_t>(width) * height * 2);
   for (NodeId r = 0; r < height; ++r) {
@@ -36,6 +49,7 @@ Graph make_grid(NodeId width, NodeId height) {
 
 Graph make_torus(NodeId width, NodeId height) {
   LCS_CHECK(width >= 3 && height >= 3, "torus needs width, height >= 3");
+  checked_node_count(static_cast<std::int64_t>(width) * height, "torus node");
   std::vector<Graph::Edge> edges;
   edges.reserve(static_cast<std::size_t>(width) * height * 2);
   for (NodeId r = 0; r < height; ++r) {
@@ -166,6 +180,186 @@ Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed) {
   return Graph(n, std::move(edges));
 }
 
+Graph make_rmat(int scale, EdgeId edges_target, double a, double b, double c,
+                std::uint64_t seed) {
+  LCS_CHECK(scale >= 1 && scale <= 30, "rmat scale must be in [1, 30]");
+  LCS_CHECK(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+            "rmat quadrant probabilities must be non-negative with a+b+c <= 1");
+  const NodeId n = static_cast<NodeId>(NodeId{1} << scale);
+  LCS_CHECK(edges_target >= n - 1,
+            "rmat edge target below the n - 1 connectivity floor");
+  LCS_CHECK(static_cast<std::int64_t>(edges_target) <=
+                static_cast<std::int64_t>(n) * (n - 1) / 2,
+            "rmat edge target exceeds the simple-graph maximum");
+
+  Rng rng(seed);
+  std::set<std::pair<NodeId, NodeId>> present;
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(edges_target));
+
+  // Random spanning tree first so the result is always connected (same
+  // policy as make_erdos_renyi).
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent =
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+    present.emplace(std::min(parent, v), std::max(parent, v));
+    edges.push_back({parent, v, 1});
+  }
+
+  const double ab = a + b;
+  const double abc = a + b + c;
+  std::int64_t attempts = 0;
+  while (edges.size() < static_cast<std::size_t>(edges_target)) {
+    LCS_CHECK(++attempts < 100 * static_cast<std::int64_t>(edges_target) + 1000,
+              "rmat rejection sampling failed to reach the edge target "
+              "(graph too dense for the chosen probabilities)");
+    NodeId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      const int ub = r < ab ? 0 : 1;
+      const int vb = (r < a || (r >= ab && r < abc)) ? 0 : 1;
+      u = static_cast<NodeId>((u << 1) | ub);
+      v = static_cast<NodeId>((v << 1) | vb);
+    }
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!present.emplace(u, v).second) continue;
+    edges.push_back({u, v, 1});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_barabasi_albert(NodeId n, NodeId m, std::uint64_t seed) {
+  LCS_CHECK(m >= 1 && m < n, "barabasi-albert needs 1 <= m < n");
+  Rng rng(seed);
+  std::vector<Graph::Edge> edges;
+  // Every edge endpoint appended once: sampling an index uniformly is
+  // degree-proportional preferential attachment.
+  std::vector<NodeId> chances;
+
+  // Seed clique on m + 1 nodes: every seed node starts with degree m.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      edges.push_back({u, v, 1});
+      chances.push_back(u);
+      chances.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<std::size_t>(m));
+  for (NodeId v = m + 1; v < n; ++v) {
+    targets.clear();
+    std::int64_t attempts = 0;
+    while (targets.size() < static_cast<std::size_t>(m)) {
+      LCS_CHECK(++attempts < 1000 * static_cast<std::int64_t>(m) + 1000,
+                "barabasi-albert target sampling failed to find m distinct "
+                "attachment nodes");
+      const NodeId t = chances[rng.next_below(chances.size())];
+      if (std::find(targets.begin(), targets.end(), t) != targets.end())
+        continue;
+      targets.push_back(t);
+    }
+    for (const NodeId t : targets) {
+      edges.push_back({t, v, 1});
+      chances.push_back(t);
+      chances.push_back(v);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed) {
+  LCS_CHECK(d >= 2 && d < n, "random regular graph needs 2 <= d < n");
+  LCS_CHECK((static_cast<std::int64_t>(n) * d) % 2 == 0,
+            "random regular graph needs n * d even");
+  Rng rng(seed);
+  constexpr int kMaxAttempts = 100;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::set<std::pair<NodeId, NodeId>> present;
+    std::vector<Graph::Edge> edges;
+    edges.reserve(static_cast<std::size_t>(n) * d / 2);
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (NodeId v = 0; v < n; ++v)
+      for (NodeId i = 0; i < d; ++i) stubs.push_back(v);
+
+    // Repeated random matching over the remaining stubs: conflicted pairs
+    // (self-loop or duplicate edge) go back into the pool, which shrinks
+    // every pass unless *no* pair matched — then the residual is
+    // unmatchable and we restart from scratch.
+    bool stuck = false;
+    while (!stubs.empty()) {
+      for (std::size_t i = stubs.size(); i > 1; --i)
+        std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+      std::vector<NodeId> leftover;
+      for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+        NodeId u = stubs[i], v = stubs[i + 1];
+        if (u > v) std::swap(u, v);
+        if (u == v || !present.emplace(u, v).second) {
+          leftover.push_back(stubs[i]);
+          leftover.push_back(stubs[i + 1]);
+          continue;
+        }
+        edges.push_back({u, v, 1});
+      }
+      if (leftover.size() == stubs.size()) {
+        stuck = true;
+        break;
+      }
+      stubs = std::move(leftover);
+    }
+    if (stuck) continue;
+    Graph g(n, std::move(edges));
+    // d-regular random graphs are connected w.h.p. for d >= 3; d = 2 gives
+    // disjoint cycles fairly often, hence the retry loop.
+    if (is_connected(g)) return g;
+  }
+  LCS_CHECK(false, "could not realize a connected simple d-regular graph "
+                   "after " + std::to_string(kMaxAttempts) + " attempts");
+  __builtin_unreachable();
+}
+
+Graph make_ktree(NodeId n, NodeId k, std::uint64_t seed) {
+  LCS_CHECK(k >= 1 && n >= k + 1, "k-tree needs k >= 1 and n >= k + 1");
+  checked_node_count(
+      static_cast<std::int64_t>(k) * (k + 1) / 2 +
+          static_cast<std::int64_t>(n - k - 1) * k,
+      "k-tree edge");
+  Rng rng(seed);
+  std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(k) * (k + 1) / 2 +
+                static_cast<std::size_t>(n - k - 1) * k);
+
+  // Flat store of k-cliques, k node ids per clique.
+  std::vector<NodeId> cliques;
+  const auto clique_count = [&] { return cliques.size() / static_cast<std::size_t>(k); };
+
+  // Base (k+1)-clique on nodes 0..k; its k-subsets seed the clique store.
+  for (NodeId u = 0; u <= k; ++u)
+    for (NodeId v = u + 1; v <= k; ++v) edges.push_back({u, v, 1});
+  for (NodeId excluded = 0; excluded <= k; ++excluded)
+    for (NodeId u = 0; u <= k; ++u)
+      if (u != excluded) cliques.push_back(u);
+
+  std::vector<NodeId> chosen(static_cast<std::size_t>(k));
+  for (NodeId v = k + 1; v < n; ++v) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(clique_count())));
+    std::copy_n(cliques.begin() + static_cast<std::ptrdiff_t>(pick * k), k,
+                chosen.begin());
+    for (const NodeId u : chosen) edges.push_back({u, v, 1});
+    // New k-cliques containing v: replace each member of the chosen clique
+    // with v in turn.
+    for (NodeId replaced = 0; replaced < k; ++replaced) {
+      for (NodeId i = 0; i < k; ++i)
+        cliques.push_back(i == replaced ? v
+                                        : chosen[static_cast<std::size_t>(i)]);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
 Graph make_wheel(NodeId n) {
   LCS_CHECK(n >= 4, "wheel needs at least four nodes");
   const NodeId hub = n - 1;
@@ -185,6 +379,10 @@ NodeId lower_bound_path_node(NodeId path_len, NodeId path, NodeId column) {
 Graph make_lower_bound_graph(NodeId num_paths, NodeId path_len) {
   LCS_CHECK(num_paths >= 1 && path_len >= 2,
             "need at least one path of length >= 2");
+  // Paths + tree leaves + at most path_len - 1 internal tree nodes.
+  checked_node_count(static_cast<std::int64_t>(num_paths) * path_len +
+                         2 * static_cast<std::int64_t>(path_len) - 1,
+                     "lower-bound graph node");
   std::vector<Graph::Edge> edges;
 
   // Path edges.
@@ -226,6 +424,8 @@ Graph make_lower_bound_graph(NodeId num_paths, NodeId path_len) {
 Graph with_random_weights(const Graph& g, Weight lo, Weight hi,
                           std::uint64_t seed) {
   LCS_CHECK(lo <= hi, "weight range is empty");
+  LCS_CHECK(hi - lo < std::numeric_limits<Weight>::max(),
+            "weight range [lo, hi] must span fewer than 2^64 values");
   Rng rng(seed);
   std::vector<Graph::Edge> edges;
   edges.reserve(static_cast<std::size_t>(g.num_edges()));

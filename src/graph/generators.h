@@ -12,6 +12,13 @@
 ///    genus at most `g` while remaining easy to generate (the paper needs
 ///    *no embedding*, so neither do we);
 ///  * Erdős–Rényi — non-planar control family;
+///  * R-MAT and Barabási–Albert — skewed/power-law degree families whose
+///    hubs concentrate shortcut traffic (the regime the minor-free
+///    follow-up literature targets);
+///  * random regular — an expander: diameter O(log n) and no structure to
+///    exploit, the easy-shortcut control;
+///  * k-trees — bounded treewidth (exactly k), the parameter family of
+///    Kitamura et al., *Low-Congestion Shortcut and Graph Parameters*;
 ///  * `make_lower_bound_graph` — the Peleg–Rubinovich-style construction
 ///    behind the Ω̃(√n + D) lower bound: √n disjoint paths crossed by a
 ///    shallow binary tree. Any shortcut for the path parts must either ride
@@ -61,6 +68,34 @@ Graph make_random_maze(NodeId width, NodeId height, double keep_fraction,
 /// Connected Erdős–Rényi graph: G(n, p) plus a random spanning tree to
 /// guarantee connectivity.
 Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed);
+
+/// Connected R-MAT graph on 2^scale nodes (recursive quadrant sampling with
+/// probabilities a, b, c, 1-a-b-c): a skewed, scale-free-like degree
+/// distribution. `edges` is the target edge count including the random
+/// spanning tree that guarantees connectivity; duplicate draws are
+/// rejected. Requires 1 <= scale <= 30, a, b, c >= 0, a + b + c <= 1, and
+/// edges achievable within the simple-graph budget.
+Graph make_rmat(int scale, EdgeId edges, double a, double b, double c,
+                std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: a complete graph on m+1 seed
+/// nodes, then each new node attaches to `m` distinct existing nodes chosen
+/// proportionally to degree. Connected by construction, power-law tail.
+/// Requires 1 <= m < n.
+Graph make_barabasi_albert(NodeId n, NodeId m, std::uint64_t seed);
+
+/// Connected random d-regular graph by repeated stub matching (retrying
+/// conflicted stubs, restarting on a stuck matching or a disconnected
+/// result). W.h.p. an expander for d >= 3 — diameter O(log n) with no
+/// exploitable structure, the easy-shortcut control family.
+/// Requires 2 <= d < n and n*d even.
+Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed);
+
+/// Random k-tree: a (k+1)-clique, then each new node is joined to all
+/// members of a uniformly random existing k-clique. Treewidth exactly k
+/// (for n > k), so the family sweeps the treewidth parameter of the
+/// shortcut literature directly. Requires k >= 1 and n >= k + 1.
+Graph make_ktree(NodeId n, NodeId k, std::uint64_t seed);
 
 /// Wheel: a cycle 0..n-2 plus a hub (node n-1) adjacent to every cycle node.
 /// Planar with diameter 2 — the cleanest adversarial case for intra-part

@@ -1,0 +1,292 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lcs {
+
+namespace {
+
+// ------------------------------------------------------------- text side --
+
+/// Split `line` into whitespace-separated tokens, dropping a '#' comment.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  if (const auto hash = line.find('#'); hash != std::string_view::npos)
+    line = line.substr(0, hash);
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r'))
+      ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+           line[j] != '\r')
+      ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+template <class T>
+T parse_number(std::string_view token, int line_no, const char* what) {
+  T value{};
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  LCS_CHECK(res.ec == std::errc() && res.ptr == token.data() + token.size(),
+            "line " + std::to_string(line_no) + ": bad " + what + " '" +
+                std::string(token) + "'");
+  return value;
+}
+
+Graph finish_text_graph(NodeId declared_nodes, std::vector<Graph::Edge> edges,
+                        NodeId max_id_seen) {
+  NodeId n = declared_nodes;
+  if (n < 0) n = max_id_seen + 1;
+  LCS_CHECK(n >= 1, "graph has no nodes");
+  return Graph(n, std::move(edges));
+}
+
+// ----------------------------------------------------------- binary side --
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+bool get_u32(std::istream& in, std::uint32_t& v) {
+  unsigned char b[4];
+  if (!in.read(reinterpret_cast<char*>(b), 4)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return true;
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+  unsigned char b[8];
+  if (!in.read(reinterpret_cast<char*>(b), 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return true;
+}
+
+constexpr char kMagic[4] = {'L', 'C', 'S', 'G'};
+
+std::ifstream open_input(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  LCS_CHECK(in.is_open(), "cannot open graph file '" + path + "'");
+  return in;
+}
+
+bool has_suffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         std::equal(suffix.rbegin(), suffix.rend(), s.rbegin());
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::vector<Graph::Edge> edges;
+  NodeId declared_nodes = -1;
+  NodeId max_id = -1;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "nodes") {
+      LCS_CHECK(tokens.size() == 2,
+                "line " + std::to_string(line_no) +
+                    ": 'nodes' directive takes exactly one count");
+      declared_nodes = parse_number<NodeId>(tokens[1], line_no, "node count");
+      LCS_CHECK(declared_nodes >= 1,
+                "line " + std::to_string(line_no) + ": node count must be >= 1");
+      continue;
+    }
+    LCS_CHECK(tokens.size() == 2 || tokens.size() == 3,
+              "line " + std::to_string(line_no) +
+                  ": expected 'u v [w]', got " +
+                  std::to_string(tokens.size()) + " fields");
+    const NodeId u = parse_number<NodeId>(tokens[0], line_no, "node id");
+    const NodeId v = parse_number<NodeId>(tokens[1], line_no, "node id");
+    LCS_CHECK(u >= 0 && v >= 0,
+              "line " + std::to_string(line_no) + ": node ids must be >= 0");
+    Weight w = 1;
+    if (tokens.size() == 3) w = parse_number<Weight>(tokens[2], line_no, "weight");
+    max_id = std::max({max_id, u, v});
+    edges.push_back({u, v, w});
+  }
+  return finish_text_graph(declared_nodes, std::move(edges), max_id);
+}
+
+Graph load_edge_list(const std::string& path) {
+  auto in = open_input(path, std::ios::in);
+  return read_edge_list(in);
+}
+
+Graph read_dimacs(std::istream& in) {
+  std::vector<Graph::Edge> edges;
+  NodeId n = -1;
+  std::string line;
+  int line_no = 0;
+  // (u, v) pairs already seen, to collapse symmetric duplicates.
+  std::vector<std::pair<NodeId, NodeId>> seen;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0] == "c") continue;
+    if (tokens[0] == "p") {
+      LCS_CHECK(n < 0, "line " + std::to_string(line_no) +
+                           ": duplicate problem line");
+      LCS_CHECK(tokens.size() >= 4,
+                "line " + std::to_string(line_no) +
+                    ": problem line needs 'p <type> <n> <m>'");
+      n = parse_number<NodeId>(tokens[2], line_no, "node count");
+      LCS_CHECK(n >= 1, "line " + std::to_string(line_no) +
+                            ": node count must be >= 1");
+      continue;
+    }
+    if (tokens[0] == "e" || tokens[0] == "a") {
+      LCS_CHECK(n >= 0, "line " + std::to_string(line_no) +
+                            ": edge before the problem line");
+      LCS_CHECK(tokens.size() == 3 || tokens.size() == 4,
+                "line " + std::to_string(line_no) +
+                    ": expected '" + std::string(tokens[0]) + " u v [w]'");
+      const NodeId u1 = parse_number<NodeId>(tokens[1], line_no, "node id");
+      const NodeId v1 = parse_number<NodeId>(tokens[2], line_no, "node id");
+      LCS_CHECK(u1 >= 1 && u1 <= n && v1 >= 1 && v1 <= n,
+                "line " + std::to_string(line_no) +
+                    ": node id out of range (DIMACS ids are 1..n)");
+      Weight w = 1;
+      if (tokens.size() == 4)
+        w = parse_number<Weight>(tokens[3], line_no, "weight");
+      const NodeId u = std::min(u1, v1) - 1;
+      const NodeId v = std::max(u1, v1) - 1;
+      seen.emplace_back(u, v);
+      edges.push_back({u, v, w});
+      continue;
+    }
+    LCS_CHECK(false, "line " + std::to_string(line_no) +
+                         ": unknown DIMACS line type '" +
+                         std::string(tokens[0]) + "'");
+  }
+  LCS_CHECK(n >= 0, "DIMACS input has no problem line");
+
+  // Collapse symmetric duplicates, keeping the first occurrence's weight
+  // (directed inputs commonly list both a u v and a v u). Edge ids follow
+  // the order of first occurrence in the file.
+  std::vector<std::size_t> order(seen.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return seen[a] != seen[b] ? seen[a] < seen[b] : a < b;
+  });
+  std::vector<std::size_t> firsts;
+  firsts.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0 && seen[order[i]] == seen[order[i - 1]]) continue;
+    firsts.push_back(order[i]);
+  }
+  std::sort(firsts.begin(), firsts.end());
+  std::vector<Graph::Edge> unique;
+  unique.reserve(firsts.size());
+  for (const std::size_t i : firsts) unique.push_back(edges[i]);
+  return Graph(n, std::move(unique));
+}
+
+Graph load_dimacs(const std::string& path) {
+  auto in = open_input(path, std::ios::in);
+  return read_dimacs(in);
+}
+
+void write_binary(const Graph& g, std::ostream& out) {
+  out.write(kMagic, 4);
+  put_u32(out, kBinaryGraphVersion);
+  put_u32(out, 0);  // reserved
+  put_u64(out, static_cast<std::uint64_t>(g.num_nodes()));
+  put_u64(out, static_cast<std::uint64_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    put_u32(out, static_cast<std::uint32_t>(ed.u));
+    put_u32(out, static_cast<std::uint32_t>(ed.v));
+    put_u64(out, ed.w);
+  }
+  LCS_CHECK(out.good(), "write error while saving binary graph");
+}
+
+void save_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LCS_CHECK(out.is_open(), "cannot open '" + path + "' for writing");
+  write_binary(g, out);
+}
+
+Graph read_binary(std::istream& in) {
+  char magic[4];
+  LCS_CHECK(static_cast<bool>(in.read(magic, 4)) &&
+                std::memcmp(magic, kMagic, 4) == 0,
+            "not an LCS binary graph (bad magic)");
+  std::uint32_t version = 0, reserved = 0;
+  LCS_CHECK(get_u32(in, version), "binary graph truncated in header");
+  LCS_CHECK(version == kBinaryGraphVersion,
+            "unsupported binary graph version " + std::to_string(version));
+  LCS_CHECK(get_u32(in, reserved) && reserved == 0,
+            "binary graph header has nonzero reserved field");
+  std::uint64_t n64 = 0, m64 = 0;
+  LCS_CHECK(get_u64(in, n64) && get_u64(in, m64),
+            "binary graph truncated in header");
+  constexpr std::uint64_t kMaxCount =
+      static_cast<std::uint64_t>(std::numeric_limits<NodeId>::max());
+  LCS_CHECK(n64 >= 1 && n64 <= kMaxCount, "binary graph node count out of range");
+  LCS_CHECK(m64 <= kMaxCount, "binary graph edge count out of range");
+
+  std::vector<Graph::Edge> edges;
+  // The header's edge count is untrusted until the payload proves it:
+  // cap the up-front reservation so a corrupt count yields the truncation
+  // diagnosis below, not a multi-gigabyte allocation attempt.
+  edges.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(m64, 1u << 20)));
+  for (std::uint64_t i = 0; i < m64; ++i) {
+    std::uint32_t u = 0, v = 0;
+    std::uint64_t w = 0;
+    LCS_CHECK(get_u32(in, u) && get_u32(in, v) && get_u64(in, w),
+              "binary graph truncated in edge payload");
+    LCS_CHECK(u < n64 && v < n64, "binary graph edge endpoint out of range");
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+  }
+  return Graph(static_cast<NodeId>(n64), std::move(edges));
+}
+
+Graph load_binary(const std::string& path) {
+  auto in = open_input(path, std::ios::in | std::ios::binary);
+  return read_binary(in);
+}
+
+Graph load_graph(const std::string& path) {
+  if (has_suffix(path, ".bin") || has_suffix(path, ".lcsg"))
+    return load_binary(path);
+  if (has_suffix(path, ".dimacs") || has_suffix(path, ".gr") ||
+      has_suffix(path, ".col"))
+    return load_dimacs(path);
+  return load_edge_list(path);
+}
+
+}  // namespace lcs

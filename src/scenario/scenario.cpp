@@ -1,0 +1,388 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "util/check.h"
+
+namespace lcs::scenario {
+
+namespace {
+
+template <class T>
+T parse_number(std::string_view token, const std::string& key) {
+  T value{};
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  LCS_CHECK(res.ec == std::errc() && res.ptr == token.data() + token.size(),
+            "scenario parameter '" + key + "' has malformed value '" +
+                std::string(token) + "'");
+  return value;
+}
+
+NodeId as_node(std::int64_t v, const std::string& key) {
+  LCS_CHECK(v >= 0 && v <= std::numeric_limits<NodeId>::max(),
+            "scenario parameter '" + key + "' out of 32-bit id range");
+  return static_cast<NodeId>(v);
+}
+
+/// The registry-wide suggested part count: ~sqrt(n) connected blobs, the
+/// scale at which shortcut quality is interesting (#parts ~ #per-part
+/// nodes, as in the benches).
+PartId suggested_parts(NodeId n) {
+  const PartId k = std::max<PartId>(
+      2, static_cast<PartId>(std::sqrt(static_cast<double>(n))));
+  return std::min<PartId>(k, n);
+}
+
+}  // namespace
+
+SpecArgs::SpecArgs(std::string family,
+                   std::vector<std::pair<std::string, std::string>> params)
+    : family_(std::move(family)),
+      params_(std::move(params)),
+      consumed_(params_.size(), false) {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    for (std::size_t j = i + 1; j < params_.size(); ++j)
+      LCS_CHECK(params_[i].first != params_[j].first,
+                "duplicate scenario parameter '" + params_[i].first + "'");
+}
+
+bool SpecArgs::has(std::string_view key) const {
+  for (const auto& [k, v] : params_)
+    if (k == key) return true;
+  return false;
+}
+
+const std::string* SpecArgs::find(std::string_view key) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].first == key) {
+      consumed_[i] = true;
+      return &params_[i].second;
+    }
+  }
+  return nullptr;
+}
+
+std::int64_t SpecArgs::get_int(std::string_view key, std::int64_t fallback) {
+  const std::string* v = find(key);
+  return v ? parse_number<std::int64_t>(*v, std::string(key)) : fallback;
+}
+
+std::int64_t SpecArgs::require_int(std::string_view key) {
+  const std::string* v = find(key);
+  LCS_CHECK(v != nullptr, "scenario family '" + family_ +
+                              "' requires parameter '" + std::string(key) + "'");
+  return parse_number<std::int64_t>(*v, std::string(key));
+}
+
+std::uint64_t SpecArgs::get_uint(std::string_view key, std::uint64_t fallback) {
+  const std::string* v = find(key);
+  return v ? parse_number<std::uint64_t>(*v, std::string(key)) : fallback;
+}
+
+double SpecArgs::get_double(std::string_view key, double fallback) {
+  const std::string* v = find(key);
+  return v ? parse_number<double>(*v, std::string(key)) : fallback;
+}
+
+double SpecArgs::require_double(std::string_view key) {
+  const std::string* v = find(key);
+  LCS_CHECK(v != nullptr, "scenario family '" + family_ +
+                              "' requires parameter '" + std::string(key) + "'");
+  return parse_number<double>(*v, std::string(key));
+}
+
+std::string SpecArgs::get_string(std::string_view key,
+                                 std::string_view fallback) {
+  const std::string* v = find(key);
+  return v ? *v : std::string(fallback);
+}
+
+void SpecArgs::check_all_consumed() const {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    LCS_CHECK(consumed_[i], "unknown parameter '" + params_[i].first +
+                                "' for scenario family '" + family_ + "'");
+}
+
+SpecArgs parse_spec(std::string_view spec) {
+  LCS_CHECK(!spec.empty(), "empty scenario spec");
+  const auto colon = spec.find(':');
+  std::string family(spec.substr(0, colon));
+  LCS_CHECK(!family.empty(), "scenario spec has no family name");
+
+  std::vector<std::pair<std::string, std::string>> params;
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} : spec.substr(colon + 1);
+  bool first_token = true;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    LCS_CHECK(!token.empty(), "empty parameter in scenario spec");
+    // The file family's first token is a bare path, not key=value.
+    if (first_token && family == "file") {
+      params.emplace_back("path", std::string(token));
+      first_token = false;
+      continue;
+    }
+    first_token = false;
+    const auto eq = token.find('=');
+    LCS_CHECK(eq != std::string_view::npos && eq > 0,
+              "scenario parameter '" + std::string(token) +
+                  "' is not of the form key=value");
+    params.emplace_back(std::string(token.substr(0, eq)),
+                        std::string(token.substr(eq + 1)));
+  }
+  return SpecArgs(std::move(family), std::move(params));
+}
+
+namespace {
+
+std::vector<Family> make_builtin_families() {
+  std::vector<Family> fams;
+
+  fams.push_back({"grid", "w=32,h=w[,rows=r]",
+                  "w x h grid, planar; rows= partitions into row bands",
+                  [](SpecArgs& a) {
+                    const NodeId w = as_node(a.get_int("w", 32), "w");
+                    const NodeId h = as_node(a.get_int("h", w), "h");
+                    FamilyResult r{make_grid(w, h), std::nullopt};
+                    if (a.has("rows"))
+                      r.partition = make_grid_rows_partition(
+                          w, h, as_node(a.require_int("rows"), "rows"));
+                    return r;
+                  }});
+
+  fams.push_back({"torus", "w=16,h=w",
+                  "w x h torus (genus 1)",
+                  [](SpecArgs& a) {
+                    const NodeId w = as_node(a.get_int("w", 16), "w");
+                    const NodeId h = as_node(a.get_int("h", w), "h");
+                    return FamilyResult{make_torus(w, h), std::nullopt};
+                  }});
+
+  fams.push_back({"genus", "w=24,h=w,g=8,seed=1",
+                  "grid plus g random chords (orientable genus <= g)",
+                  [](SpecArgs& a) {
+                    const NodeId w = as_node(a.get_int("w", 24), "w");
+                    const NodeId h = as_node(a.get_int("h", w), "h");
+                    const int g = static_cast<int>(a.get_int("g", 8));
+                    return FamilyResult{
+                        make_genus_grid(w, h, g, a.get_uint("seed", 1)),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"path", "n=1024",
+                  "simple path (extreme high diameter)",
+                  [](SpecArgs& a) {
+                    return FamilyResult{
+                        make_path(as_node(a.get_int("n", 1024), "n")),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"cycle", "n=1024",
+                  "simple cycle",
+                  [](SpecArgs& a) {
+                    return FamilyResult{
+                        make_cycle(as_node(a.get_int("n", 1024), "n")),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"tree", "n=1024,seed=1",
+                  "uniform random attachment tree",
+                  [](SpecArgs& a) {
+                    return FamilyResult{
+                        make_random_tree(as_node(a.get_int("n", 1024), "n"),
+                                         a.get_uint("seed", 1)),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"maze", "w=32,h=w,keep=0.3,seed=1",
+                  "random planar maze: grid spanning tree + keep fraction",
+                  [](SpecArgs& a) {
+                    const NodeId w = as_node(a.get_int("w", 32), "w");
+                    const NodeId h = as_node(a.get_int("h", w), "h");
+                    return FamilyResult{
+                        make_random_maze(w, h, a.get_double("keep", 0.3),
+                                         a.get_uint("seed", 1)),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"er", "n=1024,deg=6|p=...,seed=1",
+                  "connected Erdos-Renyi; p= explicit or deg= average degree",
+                  [](SpecArgs& a) {
+                    const NodeId n = as_node(a.get_int("n", 1024), "n");
+                    const double p =
+                        a.has("p") ? a.require_double("p")
+                                   : a.get_double("deg", 6.0) /
+                                         static_cast<double>(std::max<NodeId>(n, 1));
+                    return FamilyResult{
+                        make_erdos_renyi(n, std::min(p, 1.0),
+                                         a.get_uint("seed", 1)),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"wheel", "n=513,arcs=8",
+                  "cycle + hub (D = 2); parts = rim arcs, hub unassigned",
+                  [](SpecArgs& a) {
+                    const NodeId n = as_node(a.get_int("n", 513), "n");
+                    const PartId arcs =
+                        static_cast<PartId>(as_node(a.get_int("arcs", 8), "arcs"));
+                    return FamilyResult{make_wheel(n),
+                                        make_cycle_arcs_partition(n, arcs)};
+                  }});
+
+  fams.push_back({"lb", "paths=16,len=paths",
+                  "Peleg-Rubinovich lower-bound graph; parts = the paths",
+                  [](SpecArgs& a) {
+                    const NodeId paths = as_node(a.get_int("paths", 16), "paths");
+                    const NodeId len = as_node(a.get_int("len", paths), "len");
+                    Graph g = make_lower_bound_graph(paths, len);
+                    Partition p =
+                        make_lower_bound_partition(paths, len, g.num_nodes());
+                    return FamilyResult{std::move(g), std::move(p)};
+                  }});
+
+  fams.push_back({"rmat", "scale=10,deg=8|m=...,a=0.57,b=0.19,c=0.19,seed=1",
+                  "R-MAT on 2^scale nodes: skewed power-law-like degrees",
+                  [](SpecArgs& a) {
+                    const int scale = static_cast<int>(a.get_int("scale", 10));
+                    LCS_CHECK(scale >= 1 && scale <= 30,
+                              "rmat scale must be in [1, 30]");
+                    const std::int64_t n = std::int64_t{1} << scale;
+                    std::int64_t m;
+                    if (a.has("m")) {
+                      m = a.require_int("m");
+                    } else {
+                      m = static_cast<std::int64_t>(
+                          static_cast<double>(n) * a.get_double("deg", 8.0) / 2.0);
+                    }
+                    return FamilyResult{
+                        make_rmat(scale,
+                                  static_cast<EdgeId>(as_node(m, "m")),
+                                  a.get_double("a", 0.57), a.get_double("b", 0.19),
+                                  a.get_double("c", 0.19), a.get_uint("seed", 1)),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"ba", "n=1024,m=3,seed=1",
+                  "Barabasi-Albert preferential attachment (power-law hubs)",
+                  [](SpecArgs& a) {
+                    const NodeId n = as_node(a.get_int("n", 1024), "n");
+                    const NodeId m = as_node(a.get_int("m", 3), "m");
+                    return FamilyResult{
+                        make_barabasi_albert(n, m, a.get_uint("seed", 1)),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"rreg", "n=1024,d=4,seed=1",
+                  "random d-regular expander (easy-shortcut control)",
+                  [](SpecArgs& a) {
+                    const NodeId n = as_node(a.get_int("n", 1024), "n");
+                    const NodeId d = as_node(a.get_int("d", 4), "d");
+                    return FamilyResult{
+                        make_random_regular(n, d, a.get_uint("seed", 1)),
+                        std::nullopt};
+                  }});
+
+  fams.push_back({"ktree", "n=1024,k=3,seed=1",
+                  "random k-tree: treewidth exactly k",
+                  [](SpecArgs& a) {
+                    const NodeId n = as_node(a.get_int("n", 1024), "n");
+                    const NodeId k = as_node(a.get_int("k", 3), "k");
+                    return FamilyResult{make_ktree(n, k, a.get_uint("seed", 1)),
+                                        std::nullopt};
+                  }});
+
+  fams.push_back({"file", "<path>[,...]  (.bin/.lcsg, .dimacs/.gr/.col, else edge list)",
+                  "load a corpus graph; must be connected",
+                  [](SpecArgs& a) {
+                    const std::string path = a.get_string("path", "");
+                    LCS_CHECK(!path.empty(),
+                              "file: scenario needs a path, e.g. "
+                              "\"file:graphs/road.bin\"");
+                    Graph g = load_graph(path);
+                    LCS_CHECK(is_connected(g),
+                              "corpus graph '" + path +
+                                  "' is not connected; scenarios require "
+                                  "connected topologies");
+                    return FamilyResult{std::move(g), std::nullopt};
+                  }});
+
+  return fams;
+}
+
+std::vector<Family>& registry() {
+  static std::vector<Family> fams = make_builtin_families();
+  return fams;
+}
+
+}  // namespace
+
+void register_family(Family family) {
+  LCS_CHECK(!family.name.empty() && family.build != nullptr,
+            "scenario family needs a name and a builder");
+  for (const Family& f : registry())
+    LCS_CHECK(f.name != family.name,
+              "scenario family '" + family.name + "' is already registered");
+  registry().push_back(std::move(family));
+}
+
+const std::vector<Family>& families() { return registry(); }
+
+Scenario make_scenario(std::string_view spec) {
+  SpecArgs args = parse_spec(spec);
+
+  const Family* family = nullptr;
+  for (const Family& f : registry())
+    if (f.name == args.family()) family = &f;
+  LCS_CHECK(family != nullptr,
+            "unknown scenario family '" + args.family() +
+                "' (run lcs_run --list for the registered families)");
+
+  FamilyResult built = family->build(args);
+
+  // Common re-weighting: weights=lo-hi with i.i.d. uniform weights.
+  if (args.has("weights")) {
+    const std::string range = args.get_string("weights", "");
+    const auto dash = range.find('-');
+    LCS_CHECK(dash != std::string::npos && dash > 0 && dash + 1 < range.size(),
+              "weights= wants a 'lo-hi' range, got '" + range + "'");
+    const Weight lo = parse_number<Weight>(
+        std::string_view(range).substr(0, dash), "weights");
+    const Weight hi = parse_number<Weight>(
+        std::string_view(range).substr(dash + 1), "weights");
+    built.graph =
+        with_random_weights(built.graph, lo, hi, args.get_uint("wseed", 1));
+  }
+
+  // Partition: explicit parts= override beats the family suggestion beats
+  // the ~sqrt(n) random-BFS default.
+  Partition partition;
+  if (args.has("parts")) {
+    const PartId k =
+        static_cast<PartId>(as_node(args.require_int("parts"), "parts"));
+    partition =
+        make_random_bfs_partition(built.graph, k, args.get_uint("pseed", 1));
+  } else if (built.partition.has_value()) {
+    partition = std::move(*built.partition);
+  } else {
+    partition = make_random_bfs_partition(
+        built.graph, suggested_parts(built.graph.num_nodes()),
+        args.get_uint("pseed", 1));
+  }
+
+  args.check_all_consumed();
+  return Scenario{std::move(built.graph), std::move(partition),
+                  args.family(), std::string(spec)};
+}
+
+}  // namespace lcs::scenario

@@ -1,0 +1,171 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lcs {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {
+  LCS_CHECK(indent >= 0, "indent must be non-negative");
+}
+
+void JsonWriter::write_indent() {
+  if (indent_ == 0) return;
+  out_.put('\n');
+  const std::size_t spaces = stack_.size() * static_cast<std::size_t>(indent_);
+  for (std::size_t i = 0; i < spaces; ++i) out_.put(' ');
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  static const char* hex = "0123456789abcdef";
+  out_.put('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\b': out_ << "\\b"; break;
+      case '\f': out_ << "\\f"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out_ << "\\u00" << hex[c >> 4] << hex[c & 0xf];
+        } else {
+          out_.put(ch);
+        }
+    }
+  }
+  out_.put('"');
+}
+
+void JsonWriter::before_value() {
+  LCS_CHECK(!done_, "document already holds a complete top-level value");
+  if (stack_.empty()) return;  // the top-level value itself
+  if (stack_.back() == Frame::kObject) {
+    LCS_CHECK(key_pending_, "value inside an object requires a preceding key");
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) out_.put(',');
+  has_items_.back() = true;
+  write_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  LCS_CHECK(!stack_.empty() && stack_.back() == Frame::kObject,
+            "key() is only valid inside an object");
+  LCS_CHECK(!key_pending_, "previous key has no value yet");
+  if (has_items_.back()) out_.put(',');
+  has_items_.back() = true;
+  write_indent();
+  write_escaped(k);
+  out_ << (indent_ == 0 ? ":" : ": ");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_.put('{');
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  LCS_CHECK(!stack_.empty() && stack_.back() == Frame::kObject,
+            "end_object without a matching begin_object");
+  LCS_CHECK(!key_pending_, "dangling key at end_object");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) write_indent();
+  out_.put('}');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_.put('[');
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  LCS_CHECK(!stack_.empty() && stack_.back() == Frame::kArray,
+            "end_array without a matching begin_array");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) write_indent();
+  out_.put(']');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ << (b ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.write(buf, res.ptr - buf);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.write(buf, res.ptr - buf);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  LCS_CHECK(std::isfinite(v), "JSON has no encoding for NaN or infinity");
+  before_value();
+  // Shortest round-trip representation: byte-stable across platforms, which
+  // the golden-diff CI gate relies on.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.write(buf, res.ptr - buf);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+void JsonWriter::finish() {
+  LCS_CHECK(stack_.empty() && done_,
+            "finish() before the document was complete");
+  out_.put('\n');
+  out_.flush();
+}
+
+}  // namespace lcs

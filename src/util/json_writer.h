@@ -1,0 +1,76 @@
+/// \file json_writer.h
+/// Minimal streaming JSON writer for machine-readable reports (`lcs_run`).
+///
+/// Design goals, in order:
+///  * **Deterministic output.** Identical call sequences produce identical
+///    bytes on every platform: integers print exactly, doubles use the
+///    shortest round-trip representation (std::to_chars), keys are emitted
+///    in call order. The golden-file CI gate diffs reports byte-for-byte,
+///    so nothing here may depend on locale or floating-point environment.
+///  * **Misuse is diagnosed.** Structural errors (a value with no pending
+///    key inside an object, end_object closing an array, finishing with
+///    open containers) throw CheckFailure instead of producing junk.
+///  * No allocation beyond the nesting stack; no DOM. This is a writer,
+///    not a JSON library — there is deliberately no reader.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace lcs {
+
+class JsonWriter {
+ public:
+  /// Writes to `out`. `indent` spaces per nesting level; 0 = compact
+  /// single-line output.
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit a key inside an object; must be followed by exactly one value
+  /// (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int32_t v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  /// Finite doubles only (NaN/Inf have no JSON encoding — diagnosed).
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <class T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Asserts the document is complete (one top-level value, all containers
+  /// closed) and flushes a trailing newline.
+  void finish();
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void write_indent();
+  void write_escaped(std::string_view s);
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool done_ = false;  // a complete top-level value was written
+};
+
+}  // namespace lcs

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/metrics.h"
+#include "util/check.h"
+
+namespace lcs {
+namespace {
+
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_EQ(a.edge(e).w, b.edge(e).w);
+  }
+}
+
+/// Degeneracy <= k: repeatedly remove a node of degree <= k; if everything
+/// peels off, treewidth <= degeneracy-style bound holds for k-trees.
+bool peels_with_degree_at_most(const Graph& g, NodeId k) {
+  std::vector<NodeId> degree(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) degree[v] = g.degree(v);
+  std::vector<bool> removed(static_cast<std::size_t>(g.num_nodes()), false);
+  std::queue<NodeId> low;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (degree[v] <= k) low.push(v);
+  NodeId peeled = 0;
+  while (!low.empty()) {
+    const NodeId v = low.front();
+    low.pop();
+    if (removed[static_cast<std::size_t>(v)]) continue;
+    removed[static_cast<std::size_t>(v)] = true;
+    ++peeled;
+    for (const auto& nb : g.neighbors(v)) {
+      if (removed[static_cast<std::size_t>(nb.node)]) continue;
+      if (--degree[static_cast<std::size_t>(nb.node)] <= k) low.push(nb.node);
+    }
+  }
+  return peeled == g.num_nodes();
+}
+
+// ------------------------------------------------------------------ RMAT --
+
+TEST(Rmat, ShapeConnectivityAndDeterminism) {
+  const int scale = 7;
+  const EdgeId target = 400;
+  const Graph g = make_rmat(scale, target, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(g.num_nodes(), NodeId{1} << scale);
+  EXPECT_EQ(g.num_edges(), target);
+  EXPECT_TRUE(is_connected(g));
+  expect_identical(g, make_rmat(scale, target, 0.57, 0.19, 0.19, 5));
+}
+
+TEST(Rmat, SkewedProbabilitiesConcentrateDegree) {
+  // With heavy mass on quadrant (0,0), low ids should dominate the degree
+  // distribution: compare the max degree against a uniform-ish control.
+  const Graph skew = make_rmat(8, 1024, 0.7, 0.1, 0.1, 3);
+  const Graph flat = make_rmat(8, 1024, 0.25, 0.25, 0.25, 3);
+  NodeId max_skew = 0, max_flat = 0;
+  for (NodeId v = 0; v < skew.num_nodes(); ++v) {
+    max_skew = std::max(max_skew, skew.degree(v));
+    max_flat = std::max(max_flat, flat.degree(v));
+  }
+  EXPECT_GT(max_skew, max_flat);
+}
+
+TEST(Rmat, DiagnosesBadParameters) {
+  EXPECT_THROW(make_rmat(0, 10, 0.5, 0.2, 0.2, 1), CheckFailure);
+  EXPECT_THROW(make_rmat(31, 10, 0.5, 0.2, 0.2, 1), CheckFailure);
+  EXPECT_THROW(make_rmat(4, 10, 0.6, 0.3, 0.2, 1), CheckFailure);   // sum > 1
+  EXPECT_THROW(make_rmat(4, 10, -0.1, 0.3, 0.2, 1), CheckFailure);  // negative
+  EXPECT_THROW(make_rmat(4, 10, 0.5, 0.2, 0.2, 1), CheckFailure);   // < n - 1
+  EXPECT_THROW(make_rmat(4, 200, 0.5, 0.2, 0.2, 1), CheckFailure);  // > max
+}
+
+// ------------------------------------------------------- Barabasi-Albert --
+
+TEST(BarabasiAlbert, ShapeConnectivityAndDeterminism) {
+  const NodeId n = 120, m = 3;
+  const Graph g = make_barabasi_albert(n, m, 7);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed clique + m edges per later node.
+  EXPECT_EQ(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 0; v < n; ++v) EXPECT_GE(g.degree(v), m);
+  expect_identical(g, make_barabasi_albert(n, m, 7));
+}
+
+TEST(BarabasiAlbert, GrowsHubs) {
+  const Graph g = make_barabasi_albert(400, 2, 11);
+  NodeId max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  // Preferential attachment must produce hubs far above the mean (~4).
+  EXPECT_GE(max_degree, 12);
+}
+
+TEST(BarabasiAlbert, DiagnosesBadParameters) {
+  EXPECT_THROW(make_barabasi_albert(5, 0, 1), CheckFailure);
+  EXPECT_THROW(make_barabasi_albert(5, 5, 1), CheckFailure);
+}
+
+// --------------------------------------------------------- random regular --
+
+TEST(RandomRegular, ExactDegreesConnectivityAndDeterminism) {
+  for (const auto& [n, d] : std::vector<std::pair<NodeId, NodeId>>{
+           {30, 3}, {64, 4}, {101, 6}, {24, 2}}) {
+    SCOPED_TRACE("n=" + std::to_string(n) + " d=" + std::to_string(d));
+    const Graph g = make_random_regular(n, d, 9);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(n) * d / 2);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
+    EXPECT_TRUE(is_connected(g));
+    expect_identical(g, make_random_regular(n, d, 9));
+  }
+}
+
+TEST(RandomRegular, ExpanderHasLogarithmicDiameter) {
+  const Graph g = make_random_regular(512, 4, 21);
+  EXPECT_LE(diameter_double_sweep(g), 14);
+}
+
+TEST(RandomRegular, DiagnosesBadParameters) {
+  EXPECT_THROW(make_random_regular(10, 1, 1), CheckFailure);   // d < 2
+  EXPECT_THROW(make_random_regular(10, 10, 1), CheckFailure);  // d >= n
+  EXPECT_THROW(make_random_regular(7, 3, 1), CheckFailure);    // n*d odd
+}
+
+// ------------------------------------------------------------------ ktree --
+
+TEST(Ktree, ShapeTreewidthWitnessAndDeterminism) {
+  for (const NodeId k : {1, 2, 3, 5}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const NodeId n = 80;
+    const Graph g = make_ktree(n, k, 13);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), k * (k + 1) / 2 + (n - k - 1) * k);
+    EXPECT_TRUE(is_connected(g));
+    // k-trees are k-degenerate (treewidth exactly k): everything peels off
+    // at degree <= k, and the seed (k+1)-clique witnesses treewidth >= k.
+    EXPECT_TRUE(peels_with_degree_at_most(g, k));
+    EXPECT_FALSE(peels_with_degree_at_most(g, k - 1));
+    expect_identical(g, make_ktree(n, k, 13));
+  }
+}
+
+TEST(Ktree, KEqualsOneIsARandomTree) {
+  const Graph g = make_ktree(50, 1, 3);
+  EXPECT_EQ(g.num_edges(), 49);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Ktree, DiagnosesBadParameters) {
+  EXPECT_THROW(make_ktree(3, 0, 1), CheckFailure);
+  EXPECT_THROW(make_ktree(3, 3, 1), CheckFailure);  // n < k + 1
+}
+
+// ----------------------------------- precondition hardening (regressions) --
+
+TEST(GeneratorChecks, GridOverflowDiagnosed) {
+  EXPECT_THROW(make_grid(70000, 70000), CheckFailure);
+  EXPECT_THROW(make_torus(70000, 70000), CheckFailure);
+}
+
+TEST(GeneratorChecks, DegenerateShapesDiagnosed) {
+  EXPECT_THROW(make_grid(0, 5), CheckFailure);
+  EXPECT_THROW(make_torus(2, 5), CheckFailure);
+  EXPECT_THROW(make_path(0), CheckFailure);
+  EXPECT_THROW(make_cycle(2), CheckFailure);
+  EXPECT_THROW(make_wheel(3), CheckFailure);
+  EXPECT_THROW(make_random_tree(0, 1), CheckFailure);
+  EXPECT_THROW(make_random_maze(5, 5, 1.5, 1), CheckFailure);
+  EXPECT_THROW(make_erdos_renyi(10, -0.5, 1), CheckFailure);
+  EXPECT_THROW(make_genus_grid(5, 5, -1, 1), CheckFailure);
+  EXPECT_THROW(make_lower_bound_graph(0, 5), CheckFailure);
+  EXPECT_THROW(make_lower_bound_graph(1, 1), CheckFailure);
+}
+
+TEST(GeneratorChecks, LowerBoundOverflowDiagnosed) {
+  EXPECT_THROW(make_lower_bound_graph(70000, 70000), CheckFailure);
+}
+
+TEST(GeneratorChecks, WeightRangeWidthDiagnosed) {
+  const Graph g = make_path(4);
+  EXPECT_THROW(
+      with_random_weights(g, 0, std::numeric_limits<Weight>::max(), 1),
+      CheckFailure);
+  EXPECT_THROW(with_random_weights(g, 5, 4, 1), CheckFailure);
+  // A maximal-but-legal range still works.
+  const Graph w = with_random_weights(
+      g, 1, std::numeric_limits<Weight>::max(), 1);
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace lcs

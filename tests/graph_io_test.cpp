@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "util/check.h"
+
+namespace lcs {
+namespace {
+
+/// Byte-identical adjacency and weights: same node/edge counts, same edge
+/// records (id order included), same CSR neighbor lists.
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u) << "edge " << e;
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v) << "edge " << e;
+    EXPECT_EQ(a.edge(e).w, b.edge(e).w) << "edge " << e;
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << v;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].node, nb[i].node) << "node " << v << " slot " << i;
+      EXPECT_EQ(na[i].edge, nb[i].edge) << "node " << v << " slot " << i;
+    }
+  }
+}
+
+/// One representative instance of every generator family.
+std::vector<std::pair<std::string, Graph>> all_families() {
+  std::vector<std::pair<std::string, Graph>> fams;
+  fams.emplace_back("grid", make_grid(7, 5));
+  fams.emplace_back("torus", make_torus(5, 4));
+  fams.emplace_back("genus", make_genus_grid(6, 6, 4, 11));
+  fams.emplace_back("path", make_path(17));
+  fams.emplace_back("cycle", make_cycle(12));
+  fams.emplace_back("tree", make_random_tree(40, 3));
+  fams.emplace_back("maze", make_random_maze(8, 8, 0.4, 5));
+  fams.emplace_back("er", make_erdos_renyi(60, 0.06, 7));
+  fams.emplace_back("wheel", make_wheel(19));
+  fams.emplace_back("lb", make_lower_bound_graph(5, 6));
+  fams.emplace_back("rmat", make_rmat(6, 160, 0.57, 0.19, 0.19, 9));
+  fams.emplace_back("ba", make_barabasi_albert(50, 3, 13));
+  fams.emplace_back("rreg", make_random_regular(30, 4, 15));
+  fams.emplace_back("ktree", make_ktree(40, 3, 17));
+  fams.emplace_back("weighted", with_random_weights(make_grid(5, 5), 1,
+                                                    1000000007ULL, 23));
+  return fams;
+}
+
+TEST(BinaryCache, RoundTripsEveryFamily) {
+  for (const auto& [name, g] : all_families()) {
+    SCOPED_TRACE(name);
+    std::stringstream buf;
+    write_binary(g, buf);
+    const Graph back = read_binary(buf);
+    expect_same_graph(g, back);
+  }
+}
+
+TEST(BinaryCache, RoundTripsThroughFiles) {
+  const std::string path = testing::TempDir() + "lcs_io_roundtrip.bin";
+  const Graph g = make_genus_grid(9, 9, 3, 2);
+  save_binary(g, path);
+  expect_same_graph(g, load_binary(path));
+  // Extension dispatch picks the binary reader for .bin.
+  expect_same_graph(g, load_graph(path));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, RejectsBadMagic) {
+  std::stringstream buf;
+  write_binary(make_grid(3, 3), buf);
+  std::string bytes = buf.str();
+  bytes[0] = 'X';
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_binary(corrupted), CheckFailure);
+}
+
+TEST(BinaryCache, RejectsUnknownVersion) {
+  std::stringstream buf;
+  write_binary(make_grid(3, 3), buf);
+  std::string bytes = buf.str();
+  bytes[4] = static_cast<char>(kBinaryGraphVersion + 1);  // little-endian LSB
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_binary(corrupted), CheckFailure);
+}
+
+TEST(BinaryCache, RejectsTruncation) {
+  std::stringstream buf;
+  write_binary(make_grid(4, 4), buf);
+  const std::string bytes = buf.str();
+  // Chop in the header and in the edge payload.
+  for (const std::size_t keep : {std::size_t{10}, bytes.size() - 5}) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    EXPECT_THROW(read_binary(truncated), CheckFailure) << "keep=" << keep;
+  }
+}
+
+TEST(BinaryCache, RejectsOutOfRangeEndpoint) {
+  std::stringstream buf;
+  write_binary(make_path(3), buf);
+  std::string bytes = buf.str();
+  // Header is 4 magic + 4 version + 4 reserved + 8 n + 8 m = 28 bytes;
+  // first edge's u is next. Point it past n.
+  bytes[28] = 100;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_binary(corrupted), CheckFailure);
+}
+
+TEST(EdgeList, ParsesWeightsCommentsAndDirective) {
+  std::stringstream in(
+      "# comment line\n"
+      "nodes 5\n"
+      "0 1 7\n"
+      "1 2\n"
+      "\n"
+      "2 3 9  # trailing comment\n"
+      "0 4\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.edge(0).w, 7u);
+  EXPECT_EQ(g.edge(1).w, 1u);
+  EXPECT_EQ(g.edge(2).w, 9u);
+}
+
+TEST(EdgeList, InfersNodeCountFromMaxId) {
+  std::stringstream in("0 3\n3 1\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 4);
+}
+
+TEST(EdgeList, DiagnosesMalformedLines) {
+  {
+    std::stringstream in("0 1 2 3\n");
+    EXPECT_THROW(read_edge_list(in), CheckFailure);
+  }
+  {
+    std::stringstream in("0 x\n");
+    EXPECT_THROW(read_edge_list(in), CheckFailure);
+  }
+  {
+    std::stringstream in("-1 2\n");
+    EXPECT_THROW(read_edge_list(in), CheckFailure);
+  }
+}
+
+TEST(Dimacs, ParsesAndCollapsesSymmetricDuplicates) {
+  std::stringstream in(
+      "c a DIMACS shortest-path style file\n"
+      "p sp 4 5\n"
+      "a 1 2 10\n"
+      "a 2 1 99\n"  // symmetric duplicate: first weight wins
+      "a 2 3 20\n"
+      "e 3 4\n"
+      "a 1 4 5\n");
+  const Graph g = read_dimacs(in);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.edge(0).u, 0);
+  EXPECT_EQ(g.edge(0).v, 1);
+  EXPECT_EQ(g.edge(0).w, 10u);
+  EXPECT_EQ(g.edge(1).w, 20u);
+  EXPECT_EQ(g.edge(2).w, 1u);   // 'e' line: unit weight
+  EXPECT_EQ(g.edge(3).w, 5u);
+}
+
+TEST(Dimacs, DiagnosesStructuralErrors) {
+  {
+    std::stringstream in("a 1 2\n");  // edge before problem line
+    EXPECT_THROW(read_dimacs(in), CheckFailure);
+  }
+  {
+    std::stringstream in("p sp 3 1\na 1 4\n");  // id out of range
+    EXPECT_THROW(read_dimacs(in), CheckFailure);
+  }
+  {
+    std::stringstream in("p sp 3 1\nz 1 2\n");  // unknown line type
+    EXPECT_THROW(read_dimacs(in), CheckFailure);
+  }
+  {
+    std::stringstream in("c only comments\n");  // no problem line
+    EXPECT_THROW(read_dimacs(in), CheckFailure);
+  }
+}
+
+}  // namespace
+}  // namespace lcs

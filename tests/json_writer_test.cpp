@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/check.h"
+#include "util/json_writer.h"
+
+namespace lcs {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  body(w);
+  return out.str();
+}
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  const std::string got = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("a", std::int64_t{1});
+    w.key("b").begin_array().value(std::int64_t{2}).value("x").end_array();
+    w.key("c").begin_object().kv("d", true).end_object();
+    w.end_object();
+  });
+  EXPECT_EQ(got, R"({"a":1,"b":[2,"x"],"c":{"d":true}})");
+}
+
+TEST(JsonWriter, IndentedOutput) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object().kv("k", std::int64_t{7}).end_object();
+  w.finish();
+  EXPECT_EQ(out.str(), "{\n  \"k\": 7\n}\n");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  const std::string got = compact([](JsonWriter& w) {
+    w.value(std::string_view("q\"b\\n\nt\tc\x01z"));
+  });
+  EXPECT_EQ(got, R"("q\"b\\n\nt\tc\u0001z")");
+}
+
+TEST(JsonWriter, IntegerExtremes) {
+  EXPECT_EQ(compact([](JsonWriter& w) {
+              w.value(std::numeric_limits<std::int64_t>::min());
+            }),
+            "-9223372036854775808");
+  EXPECT_EQ(compact([](JsonWriter& w) {
+              w.value(std::numeric_limits<std::uint64_t>::max());
+            }),
+            "18446744073709551615");
+}
+
+TEST(JsonWriter, DoubleShortestRoundTrip) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.value(0.1); }), "0.1");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.value(2e-4); }), "2e-04");
+}
+
+TEST(JsonWriter, NullAndBool) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.null(); }), "null");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.value(false); }), "false");
+}
+
+TEST(JsonWriter, DiagnosesValueWithoutKey) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  EXPECT_THROW(w.value(std::int64_t{1}), CheckFailure);
+}
+
+TEST(JsonWriter, DiagnosesMismatchedEnd) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_array();
+  EXPECT_THROW(w.end_object(), CheckFailure);
+}
+
+TEST(JsonWriter, DiagnosesDanglingKey) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object().key("k");
+  EXPECT_THROW(w.end_object(), CheckFailure);
+}
+
+TEST(JsonWriter, DiagnosesEarlyFinish) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  EXPECT_THROW(w.finish(), CheckFailure);
+}
+
+TEST(JsonWriter, DiagnosesNonFiniteDouble) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  EXPECT_THROW(w.value(std::nan("")), CheckFailure);
+}
+
+TEST(JsonWriter, DiagnosesSecondTopLevelValue) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.value(std::int64_t{1});
+  EXPECT_THROW(w.value(std::int64_t{2}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace lcs

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end determinism regression gate.
+#
+# Runs `lcs_run` over a scenario x algorithm matrix (every algorithm on
+# every spec, including the four new families and a binary `file:` corpus),
+# with --validate (CONGEST checks on + centralized-oracle verification) and
+# --no-timing (byte-stable reports), then:
+#
+#   1. diffs each report byte-for-byte against the committed golden in
+#      tests/goldens/ — any drift in round/message accounting, shortcut
+#      quality, graph generation, or report formatting fails the gate;
+#   2. re-runs each cell at --threads 2 and 4 with --parallel-threshold=0
+#      (every round forced through the parallel engine path) and requires
+#      the report to be bit-identical to the single-threaded one — the
+#      engine's determinism contract, observed end to end.
+#
+# Usage:
+#   tools/golden_smoke.sh <lcs_run-binary> <goldens-dir> [--update]
+#
+# --update regenerates the goldens from the current binary (review the diff
+# before committing). Registered as the `golden_matrix` ctest and run in CI.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <lcs_run-binary> <goldens-dir> [--update]" >&2
+  exit 2
+fi
+
+LCS_RUN=$(realpath "$1")
+GOLDENS=$(realpath "$2")
+UPDATE=${3:-}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"  # file: specs use a relative path so reports are location-free
+
+# Build the corpus for the file: scenario the way a user would: generate
+# once, cache as a versioned binary.
+"$LCS_RUN" --algo=shortcut --scenario="ktree:n=120,k=3,seed=8" \
+  --no-timing --save-graph=corpus.bin --out=/dev/null
+
+NAMES=()
+SPECS=()
+add() { NAMES+=("$1"); SPECS+=("$2"); }
+add grid16   "grid:w=16,h=16"
+add torus12  "torus:w=12,h=12"
+add er300    "er:n=300,deg=6,seed=5"
+add maze16   "maze:w=16,h=16,keep=0.3,seed=9"
+add wheel257 "wheel:n=257,arcs=8"
+add lb8      "lb:paths=8"
+add rmat8    "rmat:scale=8,deg=6,seed=3"
+add ba300    "ba:n=300,m=3,seed=4"
+add rreg256  "rreg:n=256,d=4,seed=6"
+add ktree300 "ktree:n=300,k=3,seed=8"
+add corpus   "file:corpus.bin"
+
+ALGOS=(components mst mincut aggregate shortcut)
+
+fail=0
+for i in "${!NAMES[@]}"; do
+  name=${NAMES[$i]}
+  spec=${SPECS[$i]}
+  for algo in "${ALGOS[@]}"; do
+    out="$TMP/$name.$algo.json"
+    if ! "$LCS_RUN" --algo="$algo" --scenario="$spec" --seed=7 \
+        --validate --no-timing --out="$out"; then
+      echo "FAIL: $name/$algo exited nonzero (validation or runtime error)" >&2
+      fail=1
+      continue
+    fi
+
+    golden="$GOLDENS/$name.$algo.json"
+    if [[ "$UPDATE" == "--update" ]]; then
+      mkdir -p "$GOLDENS"
+      cp "$out" "$golden"
+    elif ! diff -u "$golden" "$out" >&2; then
+      echo "FAIL: $name/$algo drifted from the committed golden" >&2
+      fail=1
+    fi
+
+    for threads in 2 4; do
+      tout="$TMP/$name.$algo.t$threads.json"
+      if ! "$LCS_RUN" --algo="$algo" --scenario="$spec" --seed=7 \
+          --validate --no-timing --threads="$threads" --parallel-threshold=0 \
+          --out="$tout"; then
+        echo "FAIL: $name/$algo exited nonzero at --threads $threads" >&2
+        fail=1
+        continue
+      fi
+      if ! diff -u "$out" "$tout" >&2; then
+        echo "FAIL: $name/$algo not bit-identical at --threads $threads" >&2
+        fail=1
+      fi
+    done
+  done
+done
+
+if [[ "$UPDATE" == "--update" ]]; then
+  echo "goldens regenerated in $GOLDENS"
+  exit 0
+fi
+if [[ $fail -ne 0 ]]; then
+  echo "golden matrix: FAILED" >&2
+  exit 1
+fi
+echo "golden matrix: ${#NAMES[@]} scenarios x ${#ALGOS[@]} algorithms OK (threads 1/2/4 bit-identical)"

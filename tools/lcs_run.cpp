@@ -1,0 +1,509 @@
+/// \file lcs_run.cpp
+/// End-to-end driver: run any registered algorithm on any scenario spec and
+/// emit a machine-readable JSON report.
+///
+///     lcs_run --algo=mst --scenario="grid:w=64,h=64,weights=1-100000"
+///             --threads=4 --seed=7 --validate
+///
+/// Algorithms: components | mst | mincut | aggregate | shortcut.
+/// The report carries the scenario parameters, graph metrics, exact round/
+/// message accounting (setup vs algorithm), the engine's charged-round
+/// breakdown, oracle-validation results, and wall time.
+///
+/// Determinism: everything except the `timing` object is a pure function of
+/// (--scenario, --algo, --seed, --fail-rate, --validate, --metrics) — in
+/// particular it is bit-identical at every --threads value (the engine's
+/// determinism contract). `--no-timing` omits the `timing` object so two
+/// reports can be diffed byte-for-byte; the golden CI gate runs the
+/// scenario x algorithm matrix at --threads 1/2/4 exactly that way.
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/aggregate.h"
+#include "apps/components.h"
+#include "apps/mincut.h"
+#include "congest/network.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "graph/reference.h"
+#include "mst/boruvka_shortcut.h"
+#include "scenario/scenario.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/shortcut.h"
+#include "tree/bfs_tree.h"
+#include "util/check.h"
+#include "util/json_writer.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace lcs;
+
+struct Options {
+  std::string algo;
+  std::string scenario;
+  std::string out_path;         // empty = stdout
+  std::string save_graph_path;  // empty = don't save
+  int threads = 1;
+  std::int64_t parallel_threshold = -1;  // engine default
+  std::uint64_t seed = 1;
+  double fail_rate = 0.25;  // components: fraction of logically failed edges
+  bool validate = false;
+  bool metrics = false;
+  bool timing = true;
+  bool list = false;
+};
+
+constexpr const char* kUsage = R"(usage: lcs_run --algo=ALGO --scenario=SPEC [options]
+
+  --algo=ALGO        components | mst | mincut | aggregate | shortcut
+  --scenario=SPEC    scenario spec, e.g. "grid:w=64,h=64" or "file:road.bin"
+                     (run --list for the full family vocabulary)
+  --threads=N        engine worker threads (default 1; 0 = hardware)
+  --seed=S           algorithm seed (default 1)
+  --fail-rate=F      components: failed-edge fraction in [0, 1) (default 0.25)
+  --validate         CONGEST checks on + verify the result against the
+                     centralized oracle (nonzero exit on mismatch)
+  --metrics          include expensive graph metrics in the report
+  --no-timing        omit the timing object (byte-stable golden output)
+  --parallel-threshold=N  engine adaptive-fallback override (0 = always
+                     parallel; default: engine built-in)
+  --save-graph=PATH  also save the scenario's graph as a binary cache
+  --out=PATH         write the JSON report to PATH instead of stdout
+  --list             list registered scenario families and exit
+)";
+
+bool take_value(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  out = arg + len + 1;
+  return true;
+}
+
+/// Strict numeric flag parsing: the whole value must parse (a typo like
+/// --threads=4x is a usage error, not 4).
+template <class T>
+T parse_flag(const std::string& value, const char* flag) {
+  T out{};
+  const auto res =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (res.ec != std::errc() || res.ptr != value.data() + value.size()) {
+    std::cerr << "lcs_run: bad value '" << value << "' for " << flag << "\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string v;
+    if (take_value(arg, "--algo", o.algo)) continue;
+    if (take_value(arg, "--scenario", o.scenario)) continue;
+    if (take_value(arg, "--out", o.out_path)) continue;
+    if (take_value(arg, "--save-graph", o.save_graph_path)) continue;
+    if (take_value(arg, "--threads", v)) {
+      o.threads = parse_flag<int>(v, "--threads");
+      continue;
+    }
+    if (take_value(arg, "--parallel-threshold", v)) {
+      o.parallel_threshold = parse_flag<std::int64_t>(v, "--parallel-threshold");
+      continue;
+    }
+    if (take_value(arg, "--seed", v)) {
+      o.seed = parse_flag<std::uint64_t>(v, "--seed");
+      continue;
+    }
+    if (take_value(arg, "--fail-rate", v)) {
+      o.fail_rate = parse_flag<double>(v, "--fail-rate");
+      continue;
+    }
+    if (std::strcmp(arg, "--validate") == 0) { o.validate = true; continue; }
+    if (std::strcmp(arg, "--metrics") == 0) { o.metrics = true; continue; }
+    if (std::strcmp(arg, "--no-timing") == 0) { o.timing = false; continue; }
+    if (std::strcmp(arg, "--list") == 0) { o.list = true; continue; }
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::cout << kUsage;
+      std::exit(0);
+    }
+    std::cerr << "lcs_run: unknown argument '" << arg << "'\n" << kUsage;
+    std::exit(2);
+  }
+  return o;
+}
+
+void list_families() {
+  std::cout << "registered scenario families (spec = family:key=value,...):\n";
+  for (const auto& f : scenario::families()) {
+    std::cout << "  " << f.name << ":" << f.params_help << "\n      "
+              << f.summary << "\n";
+  }
+  std::cout << "common params: parts=<k>, pseed=<s> (random BFS partition "
+               "override);\n               weights=<lo>-<hi>, wseed=<s> "
+               "(uniform re-weighting)\n";
+}
+
+/// Exact equality of two labelings as partitions of the node set.
+bool same_partition_structure(const std::vector<PartId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<std::pair<PartId, NodeId>> pairs;
+  pairs.reserve(a.size());
+  for (std::size_t v = 0; v < a.size(); ++v) pairs.emplace_back(a[v], b[v]);
+  std::sort(pairs.begin(), pairs.end());
+  // Bijective iff every a-label maps to exactly one b-label and vice versa.
+  std::set<PartId> as;
+  std::set<NodeId> bs;
+  PartId prev_a = -1;
+  NodeId prev_b = -1;
+  bool first = true;
+  for (const auto& [la, lb] : pairs) {
+    if (!first && la == prev_a && lb != prev_b) return false;
+    if (first || la != prev_a) {
+      if (!as.insert(la).second) return false;
+      if (!bs.insert(lb).second) return false;
+    }
+    prev_a = la;
+    prev_b = lb;
+    first = false;
+  }
+  return true;
+}
+
+struct RunReport {
+  // Algorithm-specific payload, emitted under "result".
+  std::function<void(JsonWriter&)> result;
+  // Validation payload, emitted under "validation"; `ok` drives exit code.
+  bool validated = false;
+  bool ok = true;
+  std::function<void(JsonWriter&)> validation;
+};
+
+RunReport run_components(congest::Network& net, const SpanningTree& tree,
+                         const scenario::Scenario& sc, const Options& o) {
+  LCS_CHECK(o.fail_rate >= 0.0 && o.fail_rate < 1.0,
+            "--fail-rate must be in [0, 1)");
+  // Shared-seed logical failures, independent of the algorithm seed stream.
+  Rng rng(o.seed);
+  std::vector<bool> alive(static_cast<std::size_t>(sc.graph.num_edges()));
+  std::int64_t failed = 0;
+  for (std::size_t e = 0; e < alive.size(); ++e) {
+    alive[e] = !rng.next_bool(o.fail_rate);
+    if (!alive[e]) ++failed;
+  }
+
+  const ComponentsResult res =
+      distributed_components(net, tree, alive, o.seed);
+  std::set<PartId> labels(res.label.begin(), res.label.end());
+  const std::int64_t components = static_cast<std::int64_t>(labels.size());
+
+  RunReport rep;
+  rep.result = [components, failed, res](JsonWriter& w) {
+    w.kv("components", components);
+    w.kv("failed_edges", failed);
+    w.kv("phases", res.phases);
+  };
+  if (o.validate) {
+    const auto truth = connected_components(sc.graph, alive);
+    rep.validated = true;
+    rep.ok = same_partition_structure(res.label, truth);
+    std::set<NodeId> truth_labels(truth.begin(), truth.end());
+    const std::int64_t exact = static_cast<std::int64_t>(truth_labels.size());
+    const bool ok = rep.ok;
+    rep.validation = [exact, ok](JsonWriter& w) {
+      w.kv("oracle", "centralized union-find components");
+      w.kv("oracle_components", exact);
+      w.kv("labels_match", ok);
+    };
+  }
+  return rep;
+}
+
+RunReport run_mst(congest::Network& net, const SpanningTree& tree,
+                  const scenario::Scenario& sc, const Options& o) {
+  ShortcutMstOptions opts;
+  opts.seed = o.seed;
+  const DistributedMst mst = mst_boruvka_shortcut(net, tree, opts);
+
+  RunReport rep;
+  rep.result = [mst](JsonWriter& w) {
+    w.kv("weight", mst.total_weight);
+    w.kv("mst_edges", static_cast<std::int64_t>(mst.edges.size()));
+    w.kv("phases", mst.phases);
+  };
+  if (o.validate) {
+    const MstResult truth = kruskal_mst(sc.graph);
+    rep.validated = true;
+    rep.ok = truth.total_weight == mst.total_weight && truth.edges == mst.edges;
+    const bool ok = rep.ok;
+    const Weight w_truth = truth.total_weight;
+    rep.validation = [ok, w_truth](JsonWriter& w) {
+      w.kv("oracle", "Kruskal (weight, edge id) order");
+      w.kv("oracle_weight", w_truth);
+      w.kv("edges_match", ok);
+    };
+  }
+  return rep;
+}
+
+RunReport run_mincut(congest::Network& net, const SpanningTree& tree,
+                     const scenario::Scenario& sc, const Options& o) {
+  const MincutEstimate est = approx_mincut(net, tree, o.seed);
+
+  RunReport rep;
+  rep.result = [est](JsonWriter& w) {
+    w.kv("estimate", est.estimate);
+    w.kv("levels_tested", est.levels_tested);
+  };
+  if (o.validate) {
+    // Stoer-Wagner is O(n^3): cap the oracle at sizes where it is instant.
+    constexpr NodeId kOracleCap = 1500;
+    rep.validated = true;
+    if (sc.graph.num_nodes() <= kOracleCap) {
+      const Weight exact = stoer_wagner_mincut(sc.graph);
+      // Karger sampling brackets lambda within O(log n) w.h.p.; use a
+      // generous constant so the gate never flakes on legitimate runs.
+      const double slack =
+          64.0 * (std::log2(static_cast<double>(sc.graph.num_nodes())) + 2.0);
+      rep.ok = static_cast<double>(est.estimate) <=
+                   static_cast<double>(exact) * slack &&
+               static_cast<double>(exact) <=
+                   static_cast<double>(est.estimate) * slack;
+      const bool ok = rep.ok;
+      rep.validation = [exact, ok](JsonWriter& w) {
+        w.kv("oracle", "Stoer-Wagner exact min cut");
+        w.kv("oracle_lambda", exact);
+        w.kv("within_sampling_bracket", ok);
+      };
+    } else {
+      rep.validation = [](JsonWriter& w) {
+        w.kv("oracle", "skipped (graph above the O(n^3) oracle cap)");
+      };
+    }
+  }
+  return rep;
+}
+
+RunReport run_aggregate(congest::Network& net, const SpanningTree& tree,
+                        const scenario::Scenario& sc, const Options& o) {
+  FindShortcutParams params;
+  params.seed = o.seed;
+  PartAggregator agg(net, tree, sc.partition, params);
+  const FindShortcutStats stats = agg.construction_stats();
+
+  const std::int64_t before = net.total_rounds();
+  const auto leaders = agg.leaders();
+  const std::int64_t leader_rounds = net.total_rounds() - before;
+
+  RunReport rep;
+  rep.result = [stats, leader_rounds](JsonWriter& w) {
+    w.kv("trials", stats.trials);
+    w.kv("iterations", stats.iterations);
+    w.kv("used_c", stats.used_c);
+    w.kv("used_b", stats.used_b);
+    w.kv("construction_rounds", stats.rounds);
+    w.kv("leader_election_rounds", leader_rounds);
+  };
+  if (o.validate) {
+    std::vector<NodeId> truth(static_cast<std::size_t>(sc.partition.num_parts),
+                              kNoNode);
+    for (NodeId v = 0; v < sc.graph.num_nodes(); ++v) {
+      const PartId j = sc.partition.part(v);
+      if (j == kNoPart) continue;
+      auto& best = truth[static_cast<std::size_t>(j)];
+      if (best == kNoNode || v < best) best = v;
+    }
+    bool ok = true;
+    for (NodeId v = 0; v < sc.graph.num_nodes(); ++v) {
+      const PartId j = sc.partition.part(v);
+      if (j == kNoPart) continue;
+      if (leaders[static_cast<std::size_t>(v)] !=
+          truth[static_cast<std::size_t>(j)])
+        ok = false;
+    }
+    rep.validated = true;
+    rep.ok = ok;
+    rep.validation = [ok](JsonWriter& w) {
+      w.kv("oracle", "per-part minimum node id");
+      w.kv("leaders_match", ok);
+    };
+  }
+  return rep;
+}
+
+RunReport run_shortcut(congest::Network& net, const SpanningTree& tree,
+                       const scenario::Scenario& sc, const Options& o) {
+  FindShortcutParams params;
+  params.seed = o.seed;
+  const FindShortcutResult found =
+      find_shortcut_doubling(net, tree, sc.partition, params);
+  const FindShortcutStats stats = found.stats;
+
+  const std::int32_t cong = congestion(sc.graph, sc.partition,
+                                       found.state.shortcut);
+  const std::int32_t block = block_parameter(sc.graph, sc.partition,
+                                             found.state.shortcut);
+  const std::int32_t dil = dilation_estimate(sc.graph, sc.partition,
+                                             found.state.shortcut);
+
+  RunReport rep;
+  rep.result = [stats, cong, block, dil](JsonWriter& w) {
+    w.kv("trials", stats.trials);
+    w.kv("iterations", stats.iterations);
+    w.kv("used_c", stats.used_c);
+    w.kv("used_b", stats.used_b);
+    w.kv("congestion", cong);
+    w.kv("block_parameter", block);
+    w.kv("dilation_estimate", dil);
+  };
+  if (o.validate) {
+    bool ok = true;
+    try {
+      validate_shortcut(sc.graph, tree, sc.partition, found.state.shortcut);
+    } catch (const CheckFailure&) {
+      ok = false;
+    }
+    const std::int64_t lemma1 = lemma1_dilation_bound(tree, block);
+    const bool dil_ok = dil <= lemma1;
+    rep.validated = true;
+    rep.ok = ok && dil_ok;
+    rep.validation = [ok, dil_ok, lemma1](JsonWriter& w) {
+      w.kv("oracle", "validate_shortcut + Lemma 1 dilation bound");
+      w.kv("well_formed", ok);
+      w.kv("lemma1_bound", lemma1);
+      w.kv("dilation_within_bound", dil_ok);
+    };
+  }
+  return rep;
+}
+
+int run(const Options& o) {
+  LCS_CHECK(!o.scenario.empty(), "missing --scenario (see --help)");
+  LCS_CHECK(!o.algo.empty(), "missing --algo (see --help)");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  scenario::Scenario sc = scenario::make_scenario(o.scenario);
+  if (!o.save_graph_path.empty()) save_binary(sc.graph, o.save_graph_path);
+
+  congest::Network net(sc.graph);
+  net.set_validate(o.validate);
+  net.set_threads(o.threads);
+  if (o.parallel_threshold >= 0)
+    net.set_parallel_round_threshold(o.parallel_threshold);
+
+  const SpanningTree tree = build_bfs_tree(net, /*root=*/0);
+  const std::int64_t setup_rounds = net.total_rounds();
+  const std::int64_t setup_messages = net.total_messages();
+
+  RunReport rep;
+  if (o.algo == "components") rep = run_components(net, tree, sc, o);
+  else if (o.algo == "mst") rep = run_mst(net, tree, sc, o);
+  else if (o.algo == "mincut") rep = run_mincut(net, tree, sc, o);
+  else if (o.algo == "aggregate") rep = run_aggregate(net, tree, sc, o);
+  else if (o.algo == "shortcut") rep = run_shortcut(net, tree, sc, o);
+  else LCS_CHECK(false, "unknown --algo '" + o.algo + "' (see --help)");
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  std::ofstream file_out;
+  if (!o.out_path.empty()) {
+    file_out.open(o.out_path, std::ios::trunc);
+    LCS_CHECK(file_out.is_open(),
+              "cannot open '" + o.out_path + "' for writing");
+  }
+  std::ostream& out = o.out_path.empty() ? std::cout : file_out;
+
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", std::int64_t{1});
+  w.kv("algorithm", o.algo);
+
+  w.key("scenario").begin_object();
+  w.kv("spec", sc.spec);
+  w.kv("family", sc.family);
+  w.kv("nodes", sc.graph.num_nodes());
+  w.kv("edges", sc.graph.num_edges());
+  w.kv("total_weight", sc.graph.total_weight());
+  w.kv("parts", sc.partition.num_parts);
+  w.kv("diameter_lb", diameter_double_sweep(sc.graph));
+  if (o.metrics)
+    w.kv("max_part_diameter", max_part_diameter(sc.graph, sc.partition));
+  w.end_object();
+
+  w.key("config").begin_object();
+  w.kv("seed", o.seed);
+  w.kv("validate", o.validate);
+  if (o.algo == "components") w.kv("fail_rate", o.fail_rate);
+  w.end_object();
+
+  w.key("setup").begin_object();
+  w.kv("rounds", setup_rounds);
+  w.kv("messages", setup_messages);
+  w.end_object();
+
+  w.key("result").begin_object();
+  rep.result(w);
+  w.kv("rounds", net.total_rounds() - setup_rounds);
+  w.kv("messages", net.total_messages() - setup_messages);
+  w.end_object();
+
+  w.key("charges").begin_object();
+  for (const auto& [label, rounds] : net.charged_rounds()) w.kv(label, rounds);
+  w.end_object();
+
+  w.key("validation").begin_object();
+  w.kv("checked", rep.validated);
+  if (rep.validated) {
+    w.kv("ok", rep.ok);
+    if (rep.validation) rep.validation(w);
+  }
+  w.end_object();
+
+  if (o.timing) {
+    w.key("timing").begin_object();
+    w.kv("threads", net.threads());
+    w.kv("wall_ms", wall_ms);
+    w.end_object();
+  }
+  w.end_object();
+  w.finish();
+
+  if (rep.validated && !rep.ok) {
+    std::cerr << "lcs_run: VALIDATION FAILED for --algo=" << o.algo
+              << " --scenario=" << o.scenario << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  if (o.list) {
+    list_families();
+    return 0;
+  }
+  try {
+    return run(o);
+  } catch (const CheckFailure& e) {
+    std::cerr << "lcs_run: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "lcs_run: " << e.what() << "\n";
+    return 3;
+  }
+}
