@@ -1,0 +1,77 @@
+/// \file bench_generators.cpp
+/// Generator throughput (edges per second) per family.
+///
+/// Unlike E1–E9 this measures *wall time*: the generators feed every
+/// scaling study, so their throughput must stay on the bench trajectory.
+/// The headline case is Erdős–Rényi at 10^5–10^6 nodes — the geometric-skip
+/// G(n, p) sampler makes these O(m); the quadratic pair loop it replaced
+/// took ~15 s for er/100000 (and er/1000000 was infeasible at ~5·10^11
+/// Bernoulli draws).
+///
+/// Reported counters per run:
+///   edges_per_sec — generated edges / wall second (the headline number)
+///   edges         — edge count (deterministic; sanity/determinism)
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "graph/generators.h"
+
+namespace {
+
+using namespace lcs;
+
+template <class Make>
+void run_generator(benchmark::State& state, Make make) {
+  std::int64_t edges = 0;
+  for (auto _ : state) {
+    const Graph g = make();
+    edges = g.num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(edges) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void er_100k(benchmark::State& state) {
+  run_generator(state, [] { return make_erdos_renyi(100'000, 2e-4, 7); });
+}
+void er_1m(benchmark::State& state) {
+  run_generator(state, [] { return make_erdos_renyi(1'000'000, 2e-6, 7); });
+}
+void rmat_s16(benchmark::State& state) {
+  run_generator(state,
+                [] { return make_rmat(16, 1 << 18, 0.57, 0.19, 0.19, 7); });
+}
+void ba_100k(benchmark::State& state) {
+  run_generator(state, [] { return make_barabasi_albert(100'000, 3, 7); });
+}
+void rreg_100k(benchmark::State& state) {
+  run_generator(state, [] { return make_random_regular(100'000, 4, 7); });
+}
+void ktree_100k(benchmark::State& state) {
+  run_generator(state, [] { return make_ktree(100'000, 3, 7); });
+}
+void grid_512(benchmark::State& state) {
+  run_generator(state, [] { return make_grid(512, 512); });
+}
+void genus_grid_64(benchmark::State& state) {
+  run_generator(state, [] { return make_genus_grid(64, 64, 32, 7); });
+}
+
+BENCHMARK(er_100k)->Name("GEN/er/100000")->Unit(benchmark::kMillisecond);
+BENCHMARK(er_1m)->Name("GEN/er/1000000")->Unit(benchmark::kMillisecond);
+BENCHMARK(rmat_s16)->Name("GEN/rmat/scale16")->Unit(benchmark::kMillisecond);
+BENCHMARK(ba_100k)->Name("GEN/ba/100000")->Unit(benchmark::kMillisecond);
+BENCHMARK(rreg_100k)->Name("GEN/rreg/100000")->Unit(benchmark::kMillisecond);
+BENCHMARK(ktree_100k)->Name("GEN/ktree/100000")->Unit(benchmark::kMillisecond);
+BENCHMARK(grid_512)->Name("GEN/grid/512")->Unit(benchmark::kMillisecond);
+BENCHMARK(genus_grid_64)
+    ->Name("GEN/genus/64x64g32")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

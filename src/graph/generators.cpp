@@ -1,13 +1,14 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/metrics.h"
+#include "graph/pair_hash_set.h"
 #include "graph/union_find.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -70,12 +71,12 @@ Graph make_genus_grid(NodeId width, NodeId height, int genus,
   const NodeId n = base.num_nodes();
   LCS_CHECK(n >= 4 || genus == 0, "graph too small to add chords");
 
-  std::set<std::pair<NodeId, NodeId>> present;
+  PairHashSet present(static_cast<std::size_t>(base.num_edges()) + genus);
   std::vector<Graph::Edge> edges;
   edges.reserve(static_cast<std::size_t>(base.num_edges()) + genus);
   for (EdgeId e = 0; e < base.num_edges(); ++e) {
     const auto& ed = base.edge(e);
-    present.emplace(ed.u, ed.v);
+    present.insert(ed.u, ed.v);
     edges.push_back(ed);
   }
 
@@ -88,9 +89,8 @@ Graph make_genus_grid(NodeId width, NodeId height, int genus,
     NodeId a = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
     NodeId b = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
     if (a == b) continue;
-    if (a > b) std::swap(a, b);
-    if (!present.emplace(a, b).second) continue;
-    edges.push_back({a, b, 1});
+    if (!present.insert(a, b)) continue;
+    edges.push_back({std::min(a, b), std::max(a, b), 1});
     ++added;
   }
   return Graph(n, std::move(edges));
@@ -158,24 +158,53 @@ Graph make_random_maze(NodeId width, NodeId height, double keep_fraction,
 Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed) {
   LCS_CHECK(n >= 1, "graph needs at least one node");
   LCS_CHECK(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  const std::uint64_t total_pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  const double expected_m =
+      static_cast<double>(n - 1) + p * static_cast<double>(total_pairs);
+  // 4 sigma above the expectation covers every realizable edge count at the
+  // scales that fit in memory; beyond that the dense 32-bit id space is the
+  // binding limit, diagnosed here instead of wrapping downstream.
+  LCS_CHECK(expected_m + 4.0 * std::sqrt(expected_m + 1.0) + 16.0 <
+                static_cast<double>(std::numeric_limits<EdgeId>::max()),
+            "erdos-renyi expected edge count overflows the 32-bit id space");
+
   Rng rng(seed);
-  std::set<std::pair<NodeId, NodeId>> present;
+  PairHashSet present(static_cast<std::size_t>(expected_m) + 16);
   std::vector<Graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(expected_m) + 16);
 
   // Random spanning tree first so the result is always connected.
   for (NodeId v = 1; v < n; ++v) {
     const NodeId parent =
         static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
-    present.emplace(std::min(parent, v), std::max(parent, v));
+    present.insert(parent, v);
     edges.push_back({parent, v, 1});
   }
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) {
-      if (!rng.next_bool(p)) continue;
-      if (present.contains({u, v})) continue;
-      present.emplace(u, v);
-      edges.push_back({u, v, 1});
+
+  // G(n, p) proper: a geometric-skip sweep over the C(n, 2) pair slots in
+  // lexicographic order — (0,1), (0,2), ..., (n-2,n-1). Each GeometricSkip
+  // draw jumps straight to the next successful slot, so the sweep performs
+  // ~p * C(n, 2) draws total instead of one Bernoulli per pair: O(m) time.
+  // The cursor (u, v) advances incrementally (rows step forward at most n
+  // times over the whole sweep), keeping the slot -> pair decode exact
+  // integer arithmetic. p = 1 degenerates to skip = 1 everywhere (complete
+  // graph), p = 0 to an immediate kNever (spanning tree only).
+  const GeometricSkip skip(p);
+  std::uint64_t pos = 0;        // slots consumed so far
+  NodeId u = 0;
+  std::uint64_t v = 0;          // v == u means "before row u's first slot"
+  for (;;) {
+    const std::uint64_t s = skip.next(rng);
+    if (s > total_pairs - pos) break;  // also covers s == kNever
+    pos += s;
+    v += s;
+    while (v > static_cast<std::uint64_t>(n) - 1) {
+      ++u;
+      v = static_cast<std::uint64_t>(u) + (v - (static_cast<std::uint64_t>(n) - 1));
     }
+    const NodeId w = static_cast<NodeId>(v);
+    if (present.insert(u, w)) edges.push_back({u, w, 1});
   }
   return Graph(n, std::move(edges));
 }
@@ -193,7 +222,7 @@ Graph make_rmat(int scale, EdgeId edges_target, double a, double b, double c,
             "rmat edge target exceeds the simple-graph maximum");
 
   Rng rng(seed);
-  std::set<std::pair<NodeId, NodeId>> present;
+  PairHashSet present(static_cast<std::size_t>(edges_target));
   std::vector<Graph::Edge> edges;
   edges.reserve(static_cast<std::size_t>(edges_target));
 
@@ -202,7 +231,7 @@ Graph make_rmat(int scale, EdgeId edges_target, double a, double b, double c,
   for (NodeId v = 1; v < n; ++v) {
     const NodeId parent =
         static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
-    present.emplace(std::min(parent, v), std::max(parent, v));
+    present.insert(parent, v);
     edges.push_back({parent, v, 1});
   }
 
@@ -223,7 +252,7 @@ Graph make_rmat(int scale, EdgeId edges_target, double a, double b, double c,
     }
     if (u == v) continue;
     if (u > v) std::swap(u, v);
-    if (!present.emplace(u, v).second) continue;
+    if (!present.insert(u, v)) continue;
     edges.push_back({u, v, 1});
   }
   return Graph(n, std::move(edges));
@@ -275,8 +304,9 @@ Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed) {
             "random regular graph needs n * d even");
   Rng rng(seed);
   constexpr int kMaxAttempts = 100;
+  PairHashSet present(static_cast<std::size_t>(n) * d / 2);
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    std::set<std::pair<NodeId, NodeId>> present;
+    present.clear();
     std::vector<Graph::Edge> edges;
     edges.reserve(static_cast<std::size_t>(n) * d / 2);
     std::vector<NodeId> stubs;
@@ -296,7 +326,7 @@ Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed) {
       for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
         NodeId u = stubs[i], v = stubs[i + 1];
         if (u > v) std::swap(u, v);
-        if (u == v || !present.emplace(u, v).second) {
+        if (u == v || !present.insert(u, v)) {
           leftover.push_back(stubs[i]);
           leftover.push_back(stubs[i + 1]);
           continue;

@@ -66,7 +66,12 @@ Graph make_random_maze(NodeId width, NodeId height, double keep_fraction,
                        std::uint64_t seed);
 
 /// Connected Erdős–Rényi graph: G(n, p) plus a random spanning tree to
-/// guarantee connectivity.
+/// guarantee connectivity. Sampled with geometric skips over the C(n, 2)
+/// pair slots (util/random.h `GeometricSkip`), so generation is O(n + m)
+/// time and memory — `n = 10^6`-scale specs resolve in seconds, not hours.
+/// The per-seed edge stream is deterministic and pinned by committed
+/// checksums in tests/generators_test.cpp; p = 0 and p = 1 are exact
+/// (spanning tree only / complete graph).
 Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed);
 
 /// Connected R-MAT graph on 2^scale nodes (recursive quadrant sampling with

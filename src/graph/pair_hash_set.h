@@ -1,0 +1,105 @@
+/// \file pair_hash_set.h
+/// Flat open-addressing set of unordered node pairs, keyed as one u64.
+///
+/// The generators' duplicate-edge checks used to go through
+/// `std::set<std::pair<NodeId, NodeId>>` — a red-black tree that allocates
+/// one node per edge and chases pointers on every probe, which dominated
+/// generation time at the 10^6-edge scales the scaling studies need. This
+/// set packs the normalized pair `(min, max)` into a single 64-bit key,
+/// mixes it with SplitMix64, and probes linearly through a power-of-two
+/// table kept at most half full: O(1) amortized insert/contains, one cache
+/// line per probe, zero per-element allocation.
+///
+/// Only valid node ids (>= 0) may be stored, so the all-ones key can never
+/// occur and serves as the empty-slot sentinel. The set is insert-only —
+/// exactly the shape of a dedup filter during generation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace lcs {
+
+class PairHashSet {
+ public:
+  /// `expected` sizes the table so that inserting that many pairs never
+  /// rehashes (the table is grown to keep load factor <= 1/2).
+  explicit PairHashSet(std::size_t expected = 0) { rehash_for(expected); }
+
+  std::size_t size() const { return size_; }
+
+  /// Inserts the unordered pair {u, v}; returns true iff it was absent.
+  /// Requires u != v and both ids >= 0.
+  bool insert(NodeId u, NodeId v) {
+    const std::uint64_t k = key(u, v);
+    std::size_t i = slot_of(k);
+    while (slots_[i] != kEmpty) {
+      if (slots_[i] == k) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = k;
+    if (++size_ * 2 > slots_.size()) grow();
+    return true;
+  }
+
+  /// True iff the unordered pair {u, v} was inserted before.
+  bool contains(NodeId u, NodeId v) const {
+    const std::uint64_t k = key(u, v);
+    for (std::size_t i = slot_of(k); slots_[i] != kEmpty; i = (i + 1) & mask_)
+      if (slots_[i] == k) return true;
+    return false;
+  }
+
+  /// Drops all pairs but keeps the allocated table (restart loops).
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  static std::uint64_t key(NodeId u, NodeId v) {
+    LCS_CHECK(u >= 0 && v >= 0 && u != v,
+              "pair set requires two distinct non-negative node ids");
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
+  /// SplitMix64 finalizer: full avalanche so consecutive ids spread.
+  std::size_t slot_of(std::uint64_t k) const {
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(k ^ (k >> 31)) & mask_;
+  }
+
+  void rehash_for(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap *= 2;
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    rehash_for(old.size());  // old.size() = 2x current element capacity
+    for (const std::uint64_t k : old) {
+      if (k == kEmpty) continue;
+      std::size_t i = slot_of(k);
+      while (slots_[i] != kEmpty) i = (i + 1) & mask_;
+      slots_[i] = k;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lcs

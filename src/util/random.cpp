@@ -1,5 +1,7 @@
 #include "util/random.h"
 
+#include <cmath>
+
 #include "util/check.h"
 
 namespace lcs {
@@ -78,6 +80,26 @@ bool Rng::next_bool(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return next_double() < p;
+}
+
+GeometricSkip::GeometricSkip(double p) : p_(p), log_q_(std::log1p(-p)) {
+  LCS_CHECK(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+}
+
+std::uint64_t GeometricSkip::next(Rng& rng) const {
+  if (p_ >= 1.0) return 1;
+  if (p_ <= 0.0) return kNever;
+  // Inverse CDF of Geometric(p) on {1, 2, ...}. Both logs are <= 0, so the
+  // quotient is >= 0; dividing (rather than multiplying by a precomputed
+  // reciprocal) keeps subnormal p exact: log1p(-p) is then a nonzero
+  // subnormal and u = 0 still maps to skip 1 instead of 0 * inf = NaN.
+  const double u = rng.next_double();  // in [0, 1), so log1p(-u) is finite
+  const double skip = std::floor(std::log1p(-u) / log_q_);
+  // Saturate anything unindexable (huge skip from a tiny p, inf from a
+  // subnormal log_q_, or NaN) to "no further success". The comparison is
+  // written so NaN falls into the saturating branch.
+  if (!(skip < 0x1p63)) return kNever;
+  return 1 + static_cast<std::uint64_t>(skip);
 }
 
 }  // namespace lcs

@@ -54,11 +54,48 @@ class Rng {
   /// Uniform double in [0, 1).
   double next_double();
 
-  /// Bernoulli coin with probability p.
+  /// Bernoulli coin with probability p. Total for every double p: p <= 0
+  /// (including -0.0 and subnormals' negatives) is always false, p >= 1
+  /// always true, and in between exactly one uniform draw is consumed.
   bool next_bool(double p);
 
  private:
   std::uint64_t s_[4];
+};
+
+/// Geometric skip sampler over a Bernoulli(p) trial stream: instead of
+/// flipping a coin per trial, `next()` draws how many trials elapse up to
+/// and including the next success (a Geometric(p) variate >= 1, via the
+/// inverse CDF `1 + floor(log(1 - u) / log(1 - p))`). A Bernoulli stream
+/// of T trials collapses to ~T*p draws — this is what makes G(n, p)
+/// generation O(m) instead of O(n^2).
+///
+/// Edge cases are total, never hang, and never overflow:
+///  * p >= 1  — every trial succeeds: next() is always 1 (no draw consumed);
+///  * p <= 0  — no trial ever succeeds: next() is kNever (no draw consumed);
+///  * 0 < p < 1, including subnormal p — one draw per call; any skip that
+///    would exceed the representable range (or a NaN from the extreme
+///    corner of subnormal arithmetic) saturates to kNever.
+///
+/// Determinism: for a fixed Rng stream the skip sequence is a pure function
+/// of p. It does route through libm's log1p, so the per-seed edge streams
+/// of generators built on it are pinned by committed stream checksums
+/// (tests/generators_test.cpp) — a platform whose libm rounds differently
+/// fails loudly there instead of silently drifting the goldens.
+class GeometricSkip {
+ public:
+  /// "No further success": larger than any trial count a caller can index.
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit GeometricSkip(double p);
+
+  /// Trials up to and including the next success (>= 1), or kNever.
+  std::uint64_t next(Rng& rng) const;
+
+ private:
+  double p_;
+  double log_q_;  // log(1 - p), in [-inf, 0); meaningless when p is 0 or 1
 };
 
 }  // namespace lcs

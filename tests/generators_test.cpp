@@ -1,16 +1,40 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <queue>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/metrics.h"
+#include "graph/pair_hash_set.h"
 #include "util/check.h"
+#include "util/random.h"
 
 namespace lcs {
 namespace {
+
+/// Order-sensitive digest of the full edge stream (endpoints and weights
+/// in construction order). Pinned constants below freeze the per-seed
+/// streams: a generator rewrite, an Rng change, or a libm whose log1p
+/// rounds differently all fail here loudly instead of silently drifting
+/// the committed goldens.
+std::uint64_t edge_checksum(const Graph& g) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    h = hash64(h,
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ed.u))
+                << 32) |
+                   static_cast<std::uint32_t>(ed.v));
+    h = hash64(h, ed.w);
+  }
+  return h;
+}
 
 void expect_identical(const Graph& a, const Graph& b) {
   ASSERT_EQ(a.num_nodes(), b.num_nodes());
@@ -44,6 +68,133 @@ bool peels_with_degree_at_most(const Graph& g, NodeId k) {
     }
   }
   return peeled == g.num_nodes();
+}
+
+// ----------------------------------------------------------- Erdos-Renyi --
+
+TEST(ErdosRenyi, StreamChecksumPinned) {
+  // The geometric-skip sampler's per-seed edge stream, frozen. These
+  // values were produced by the commit that introduced the sampler; if a
+  // deliberate rewrite changes them, regenerate tests/goldens/ in the same
+  // PR (tools/regen_goldens.sh) and update these pins.
+  EXPECT_EQ(edge_checksum(make_erdos_renyi(300, 0.02, 5)),
+            0x23a8d113e398fe05ULL);
+  EXPECT_EQ(edge_checksum(make_erdos_renyi(2000, 2e-3, 7)),
+            0xcce1ed2ca0916937ULL);
+}
+
+TEST(ErdosRenyi, UntouchedFamiliesChecksumPinned) {
+  // These four families do not ride the skip sampler; their streams were
+  // pinned from the previous (std::set-dedup) implementation and must stay
+  // byte-for-byte identical — the flat pair-hash dedup swap is observable
+  // only in speed.
+  EXPECT_EQ(edge_checksum(make_random_regular(300, 4, 6)),
+            0x5c3426a3e3228e83ULL);
+  EXPECT_EQ(edge_checksum(make_barabasi_albert(300, 3, 4)),
+            0x527e59edc68b26acULL);
+  EXPECT_EQ(edge_checksum(make_ktree(300, 3, 8)), 0xbfc5b644655d939bULL);
+  EXPECT_EQ(edge_checksum(make_rmat(8, 768, 0.57, 0.19, 0.19, 3)),
+            0x231ad355839d9962ULL);
+  EXPECT_EQ(edge_checksum(make_genus_grid(12, 12, 9, 5)),
+            0xb9ca2a3a6089a095ULL);
+}
+
+TEST(ErdosRenyi, EdgeCountWithinFourSigma) {
+  // G(n, p) proper contributes Binomial(C(n, 2), p) successes; the graph
+  // also carries the n - 1 spanning-tree edges, minus successes that
+  // collide with a tree edge (expected ~ (n - 1) * p). 4 sigma of the
+  // binomial plus a collision allowance must bracket the edge count for
+  // every seed.
+  const NodeId n = 2000;
+  const double p = 0.01;
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  const double mu = pairs * p;
+  const double sigma = std::sqrt(mu * (1.0 - p));
+  const double collisions = (n - 1) * p;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SCOPED_TRACE(seed);
+    const Graph g = make_erdos_renyi(n, p, seed);
+    const double extra = static_cast<double>(g.num_edges()) - (n - 1);
+    EXPECT_NEAR(extra, mu - collisions, 4.0 * sigma + collisions);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(ErdosRenyi, ProbabilityZeroIsSpanningTreeOnly) {
+  for (const std::uint64_t seed : {1ULL, 9ULL}) {
+    const Graph g = make_erdos_renyi(500, 0.0, seed);
+    EXPECT_EQ(g.num_edges(), 499);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(ErdosRenyi, ProbabilityOneIsCompleteGraph) {
+  const NodeId n = 40;
+  const Graph g = make_erdos_renyi(n, 1.0, 3);
+  EXPECT_EQ(g.num_edges(), n * (n - 1) / 2);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), n - 1);
+}
+
+TEST(ErdosRenyi, SubnormalProbabilityTerminates) {
+  // p below any representable skip resolution must behave like p = 0, not
+  // hang or emit garbage skips.
+  const Graph g = make_erdos_renyi(200, 5e-324, 4);
+  EXPECT_EQ(g.num_edges(), 199);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ErdosRenyi, SingleNodeAndTinyGraphs) {
+  EXPECT_EQ(make_erdos_renyi(1, 0.5, 1).num_edges(), 0);
+  EXPECT_EQ(make_erdos_renyi(2, 1.0, 1).num_edges(), 1);
+}
+
+TEST(ErdosRenyi, DeterministicPerSeedAndSeedSensitive) {
+  expect_identical(make_erdos_renyi(400, 0.01, 11),
+                   make_erdos_renyi(400, 0.01, 11));
+  EXPECT_NE(edge_checksum(make_erdos_renyi(400, 0.01, 11)),
+            edge_checksum(make_erdos_renyi(400, 0.01, 12)));
+}
+
+TEST(ErdosRenyi, DiagnosesEdgeCountOverflow) {
+  // 10^5 nodes at p = 0.5 would need ~2.5e9 edges: over the 32-bit id
+  // space, diagnosed up front instead of wrapping or exhausting memory.
+  EXPECT_THROW(make_erdos_renyi(100000, 0.5, 1), CheckFailure);
+}
+
+// ---------------------------------------------------------- PairHashSet --
+
+TEST(PairHashSet, MatchesTreeSetSemantics) {
+  PairHashSet flat(8);  // deliberately undersized: forces growth
+  std::set<std::pair<NodeId, NodeId>> reference;
+  Rng rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.next_below(150));
+    const NodeId b = static_cast<NodeId>(rng.next_below(150));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    EXPECT_EQ(flat.insert(a, b),
+              reference.emplace(key.first, key.second).second);
+    EXPECT_TRUE(flat.contains(a, b));
+    EXPECT_TRUE(flat.contains(b, a));  // unordered
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  EXPECT_FALSE(flat.contains(200, 201));
+}
+
+TEST(PairHashSet, ClearKeepsCapacityDropsContent) {
+  PairHashSet set(4);
+  EXPECT_TRUE(set.insert(1, 2));
+  EXPECT_TRUE(set.insert(3, 4));
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(1, 2));
+  EXPECT_TRUE(set.insert(1, 2));
+}
+
+TEST(PairHashSet, DiagnosesSelfLoopsAndNegativeIds) {
+  PairHashSet set;
+  EXPECT_THROW(set.insert(3, 3), CheckFailure);
+  EXPECT_THROW(set.insert(-1, 2), CheckFailure);
 }
 
 // ------------------------------------------------------------------ RMAT --

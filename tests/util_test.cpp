@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
 
@@ -76,6 +79,80 @@ TEST(Rng, BernoulliRoughlyCalibrated) {
   for (int i = 0; i < trials; ++i)
     if (rng.next_bool(0.3)) ++hits;
   EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, NextBoolTotalOnEdgeCaseProbabilities) {
+  Rng rng(3);
+  // p <= 0 and p >= 1 return without consuming the stream or hanging.
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_FALSE(rng.next_bool(-0.0));
+  EXPECT_FALSE(rng.next_bool(-1.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+  EXPECT_TRUE(rng.next_bool(2.0));
+  // Subnormal p: one draw, essentially always false (u < 5e-324 needs a
+  // zero mantissa draw), never UB.
+  constexpr double kSubnormal = 5e-324;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(rng.next_bool(kSubnormal));
+}
+
+TEST(GeometricSkip, ExtremeProbabilitiesNeverHangOrDraw) {
+  Rng rng(5);
+  const std::uint64_t stream_probe = Rng(5)();
+  const GeometricSkip always(1.0);
+  const GeometricSkip never(0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(always.next(rng), 1u);
+    EXPECT_EQ(never.next(rng), GeometricSkip::kNever);
+  }
+  // Neither consumed any randomness.
+  EXPECT_EQ(rng(), stream_probe);
+}
+
+TEST(GeometricSkip, SubnormalProbabilitySaturatesToNever) {
+  Rng rng(9);
+  const GeometricSkip skip(5e-324);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t s = skip.next(rng);
+    // Any skip this p can produce overflows the indexable range (mean
+    // 1/p ~ 2e323 trials), so next() saturates instead of wrapping.
+    EXPECT_EQ(s, GeometricSkip::kNever);
+  }
+}
+
+TEST(GeometricSkip, RejectsOutOfRangeProbability) {
+  EXPECT_THROW(GeometricSkip(-0.1), CheckFailure);
+  EXPECT_THROW(GeometricSkip(1.1), CheckFailure);
+}
+
+TEST(GeometricSkip, MatchesGeometricMoments) {
+  // Mean of Geometric(p) on {1, 2, ...} is 1/p; check calibration at a few
+  // probabilities with a generous tolerance (n = 20000 draws).
+  for (const double p : {0.5, 0.1, 0.01}) {
+    SCOPED_TRACE(p);
+    Rng rng(17);
+    const GeometricSkip skip(p);
+    const int draws = 20000;
+    double sum = 0;
+    std::uint64_t min_seen = GeometricSkip::kNever;
+    for (int i = 0; i < draws; ++i) {
+      const std::uint64_t s = skip.next(rng);
+      ASSERT_GE(s, 1u);
+      ASSERT_NE(s, GeometricSkip::kNever);
+      min_seen = std::min(min_seen, s);
+      sum += static_cast<double>(s);
+    }
+    EXPECT_EQ(min_seen, 1u);  // successes on the very next trial do occur
+    const double mean = sum / draws;
+    // 6 sigma of the sample mean: sigma = sqrt(1-p)/p / sqrt(draws).
+    const double tol = 6.0 * std::sqrt(1.0 - p) / p / std::sqrt(double(draws));
+    EXPECT_NEAR(mean, 1.0 / p, tol);
+  }
+}
+
+TEST(GeometricSkip, DeterministicPerSeed) {
+  Rng a(23), b(23);
+  const GeometricSkip skip(0.037);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(skip.next(a), skip.next(b));
 }
 
 TEST(Hash64, DeterministicAndSeedSensitive) {

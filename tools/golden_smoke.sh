@@ -14,11 +14,15 @@
 #      the report to be bit-identical to the single-threaded one — the
 #      engine's determinism contract, observed end to end.
 #
+# The matrix also pins one `--sweep` invocation (a JSON array of per-point
+# reports), so the sweep plumbing is under the same byte-exact gate.
+#
 # Usage:
 #   tools/golden_smoke.sh <lcs_run-binary> <goldens-dir> [--update]
 #
 # --update regenerates the goldens from the current binary (review the diff
-# before committing). Registered as the `golden_matrix` ctest and run in CI.
+# before committing); `tools/regen_goldens.sh` wraps this for the common
+# case. Registered as the `golden_matrix` ctest and run in CI.
 set -euo pipefail
 
 if [[ $# -lt 2 ]]; then
@@ -75,6 +79,8 @@ for i in "${!NAMES[@]}"; do
       cp "$out" "$golden"
     elif ! diff -u "$golden" "$out" >&2; then
       echo "FAIL: $name/$algo drifted from the committed golden" >&2
+      echo "      (deliberate edge-stream/schema change? regenerate ALL" >&2
+      echo "      goldens in the same PR: tools/regen_goldens.sh)" >&2
       fail=1
     fi
 
@@ -95,6 +101,36 @@ for i in "${!NAMES[@]}"; do
   done
 done
 
+# One --sweep cell: a JSON array of per-point reports, byte-pinned and
+# thread-invariant like every single-run cell.
+SWEEP_ARGS=(--algo=components --scenario="er:n=100,deg=4,seed=5"
+            --sweep="n=100..400:x2" --seed=7 --validate --no-timing)
+out="$TMP/sweep_er.components.json"
+if ! "$LCS_RUN" "${SWEEP_ARGS[@]}" --out="$out"; then
+  echo "FAIL: sweep_er/components exited nonzero" >&2
+  fail=1
+else
+  golden="$GOLDENS/sweep_er.components.json"
+  if [[ "$UPDATE" == "--update" ]]; then
+    cp "$out" "$golden"
+  elif ! diff -u "$golden" "$out" >&2; then
+    echo "FAIL: sweep_er/components drifted from the committed golden" >&2
+    echo "      (deliberate change? regenerate: tools/regen_goldens.sh)" >&2
+    fail=1
+  fi
+  for threads in 2 4; do
+    tout="$TMP/sweep_er.components.t$threads.json"
+    if ! "$LCS_RUN" "${SWEEP_ARGS[@]}" --threads="$threads" \
+        --parallel-threshold=0 --out="$tout"; then
+      echo "FAIL: sweep_er/components exited nonzero at --threads $threads" >&2
+      fail=1
+    elif ! diff -u "$out" "$tout" >&2; then
+      echo "FAIL: sweep_er/components not bit-identical at --threads $threads" >&2
+      fail=1
+    fi
+  done
+fi
+
 if [[ "$UPDATE" == "--update" ]]; then
   echo "goldens regenerated in $GOLDENS"
   exit 0
@@ -103,4 +139,4 @@ if [[ $fail -ne 0 ]]; then
   echo "golden matrix: FAILED" >&2
   exit 1
 fi
-echo "golden matrix: ${#NAMES[@]} scenarios x ${#ALGOS[@]} algorithms OK (threads 1/2/4 bit-identical)"
+echo "golden matrix: ${#NAMES[@]} scenarios x ${#ALGOS[@]} algorithms + 1 sweep OK (threads 1/2/4 bit-identical)"

@@ -5,17 +5,25 @@
 ///     lcs_run --algo=mst --scenario="grid:w=64,h=64,weights=1-100000"
 ///             --threads=4 --seed=7 --validate
 ///
-/// Algorithms: components | mst | mincut | aggregate | shortcut.
+/// Algorithms: components | mst | mincut | aggregate | shortcut, or `none`
+/// to stop after scenario resolution (generator studies, generation smoke).
 /// The report carries the scenario parameters, graph metrics, exact round/
 /// message accounting (setup vs algorithm), the engine's charged-round
 /// breakdown, oracle-validation results, and wall time.
 ///
 /// Determinism: everything except the `timing` object is a pure function of
-/// (--scenario, --algo, --seed, --fail-rate, --validate, --metrics) — in
-/// particular it is bit-identical at every --threads value (the engine's
-/// determinism contract). `--no-timing` omits the `timing` object so two
-/// reports can be diffed byte-for-byte; the golden CI gate runs the
-/// scenario x algorithm matrix at --threads 1/2/4 exactly that way.
+/// (--scenario, --algo, --seed, --fail-rate, --validate, --metrics,
+/// --sweep) — in particular it is bit-identical at every --threads value
+/// (the engine's determinism contract). `--no-timing` omits the `timing`
+/// object so two reports can be diffed byte-for-byte; the golden CI gate
+/// runs the scenario x algorithm matrix at --threads 1/2/4 exactly that way.
+///
+/// Scaling curves come from one invocation: `--sweep key=lo..hi[:steps|xN]`
+/// re-resolves the scenario spec once per point with `key` overridden and
+/// emits a single JSON array of per-point reports:
+///
+///     lcs_run --algo=components --scenario="er:n=1000,deg=6"
+///             --sweep="n=1k..1M:x10" --no-timing
 #include <algorithm>
 #include <charconv>
 #include <chrono>
@@ -53,6 +61,7 @@ using namespace lcs;
 struct Options {
   std::string algo;
   std::string scenario;
+  std::string sweep;            // empty = single run
   std::string out_path;         // empty = stdout
   std::string save_graph_path;  // empty = don't save
   int threads = 1;
@@ -67,9 +76,15 @@ struct Options {
 
 constexpr const char* kUsage = R"(usage: lcs_run --algo=ALGO --scenario=SPEC [options]
 
-  --algo=ALGO        components | mst | mincut | aggregate | shortcut
+  --algo=ALGO        components | mst | mincut | aggregate | shortcut,
+                     or none (resolve the scenario, skip the engine)
   --scenario=SPEC    scenario spec, e.g. "grid:w=64,h=64" or "file:road.bin"
                      (run --list for the full family vocabulary)
+  --sweep=RANGE      key=lo..hi[:steps|xfactor] — run once per point with
+                     the scenario's `key` parameter overridden, emitting one
+                     JSON array of reports. lo/hi take k/M/G suffixes;
+                     ":5" = 5 evenly spaced points, ":x10" = multiply by 10
+                     per point (the default is :x2)
   --threads=N        engine worker threads (default 1; 0 = hardware)
   --seed=S           algorithm seed (default 1)
   --fail-rate=F      components: failed-edge fraction in [0, 1) (default 0.25)
@@ -112,6 +127,7 @@ Options parse_args(int argc, char** argv) {
     std::string v;
     if (take_value(arg, "--algo", o.algo)) continue;
     if (take_value(arg, "--scenario", o.scenario)) continue;
+    if (take_value(arg, "--sweep", o.sweep)) continue;
     if (take_value(arg, "--out", o.out_path)) continue;
     if (take_value(arg, "--save-graph", o.save_graph_path)) continue;
     if (take_value(arg, "--threads", v)) {
@@ -388,45 +404,179 @@ RunReport run_shortcut(congest::Network& net, const SpanningTree& tree,
   return rep;
 }
 
-int run(const Options& o) {
-  LCS_CHECK(!o.scenario.empty(), "missing --scenario (see --help)");
-  LCS_CHECK(!o.algo.empty(), "missing --algo (see --help)");
+// ------------------------------------------------------------------ sweep --
 
+/// One `--sweep key=lo..hi[:steps|xfactor]` directive, expanded to the
+/// integer value of `key` at every sweep point.
+struct Sweep {
+  std::string key;
+  std::vector<std::int64_t> values;
+};
+
+/// Integer with an optional k/M/G decimal suffix ("250k" = 250000).
+std::int64_t parse_scaled_int(std::string_view token, const char* what) {
+  std::int64_t mult = 1;
+  if (!token.empty()) {
+    switch (token.back()) {
+      case 'k': mult = 1'000; break;
+      case 'M': mult = 1'000'000; break;
+      case 'G': mult = 1'000'000'000; break;
+      default: break;
+    }
+    if (mult != 1) token.remove_suffix(1);
+  }
+  std::int64_t out{};
+  const auto res = std::from_chars(token.data(), token.data() + token.size(), out);
+  LCS_CHECK(res.ec == std::errc() && res.ptr == token.data() + token.size(),
+            std::string("--sweep: malformed ") + what + " '" +
+                std::string(token) + "'");
+  std::int64_t scaled{};
+  LCS_CHECK(!__builtin_mul_overflow(out, mult, &scaled),
+            std::string("--sweep: ") + what + " overflows 64 bits");
+  return scaled;
+}
+
+Sweep parse_sweep(const std::string& directive) {
+  const auto eq = directive.find('=');
+  LCS_CHECK(eq != std::string::npos && eq > 0,
+            "--sweep wants key=lo..hi[:steps|xfactor], got '" + directive + "'");
+  Sweep sweep;
+  sweep.key = directive.substr(0, eq);
+
+  std::string_view rest = std::string_view(directive).substr(eq + 1);
+  std::string_view step_spec = "x2";  // default: double per point
+  if (const auto colon = rest.find(':'); colon != std::string_view::npos) {
+    step_spec = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+  const auto dots = rest.find("..");
+  LCS_CHECK(dots != std::string_view::npos,
+            "--sweep range wants lo..hi, got '" + std::string(rest) + "'");
+  const std::int64_t lo = parse_scaled_int(rest.substr(0, dots), "range start");
+  const std::int64_t hi = parse_scaled_int(rest.substr(dots + 2), "range end");
+  LCS_CHECK(lo >= 1 && lo <= hi, "--sweep range needs 1 <= lo <= hi");
+
+  if (!step_spec.empty() && step_spec.front() == 'x') {
+    // Geometric: lo, lo*f, lo*f^2, ... up to the last point <= hi.
+    const std::string f_str(step_spec.substr(1));
+    double factor{};
+    const auto res = std::from_chars(f_str.data(), f_str.data() + f_str.size(),
+                                     factor);
+    LCS_CHECK(res.ec == std::errc() && res.ptr == f_str.data() + f_str.size() &&
+                  factor > 1.0,
+              "--sweep factor wants x<number greater than 1>, got 'x" + f_str +
+                  "'");
+    // Round each accumulated value before the range test so floating-point
+    // drift (1M reached as 10^6 * (1 + 2^-52)) cannot drop the endpoint —
+    // and a rounded point can never exceed the requested hi.
+    std::int64_t iterations = 0;
+    for (double v = static_cast<double>(lo);; v *= factor) {
+      // A factor of 1 + epsilon would spin near-forever before the point
+      // cap below could fire (adjacent duplicates are dropped), so bound
+      // the raw iteration count too: 10^6 covers every factor down to
+      // ~1.0001 across the whole 64-bit range.
+      LCS_CHECK(++iterations <= 1'000'000,
+                "--sweep factor is too close to 1 to terminate");
+      if (!(v < 0x1p62)) break;  // llround stays defined; covers NaN/inf
+      const std::int64_t point = std::llround(v);
+      if (point > hi) break;
+      if (sweep.values.empty() || point != sweep.values.back())
+        sweep.values.push_back(point);
+      LCS_CHECK(sweep.values.size() <= 10000,
+                "--sweep expands to more than 10000 points; use a larger "
+                "factor");
+    }
+  } else {
+    // Linear: `steps` evenly spaced points from lo to hi inclusive.
+    const std::int64_t steps = parse_scaled_int(step_spec, "step count");
+    LCS_CHECK(steps >= 1 && (steps >= 2 || lo == hi),
+              "--sweep wants at least 2 steps (or lo == hi)");
+    LCS_CHECK(steps <= 10000, "--sweep wants at most 10000 points");
+    for (std::int64_t i = 0; i < steps; ++i) {
+      // 128-bit intermediate: (hi - lo) * i can exceed 64 bits even though
+      // hi and lo individually fit.
+      const std::int64_t point =
+          steps == 1 ? lo
+                     : lo + static_cast<std::int64_t>(
+                                static_cast<__int128>(hi - lo) * i /
+                                (steps - 1));
+      if (sweep.values.empty() || point != sweep.values.back())
+        sweep.values.push_back(point);
+    }
+  }
+  return sweep;
+}
+
+/// The scenario spec with parameter `key` set to `value`: an existing
+/// `key=` token is replaced in place, otherwise the parameter is appended.
+/// Purely textual so the family's own parser stays the single authority on
+/// the vocabulary (an unknown key still fails loudly in make_scenario).
+std::string spec_with_param(const std::string& spec, const std::string& key,
+                            std::int64_t value) {
+  const std::string assignment = key + "=" + std::to_string(value);
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return spec + ":" + assignment;
+
+  std::string out = spec.substr(0, colon + 1);
+  std::string_view rest = std::string_view(spec).substr(colon + 1);
+  bool replaced = false;
+  bool first = true;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(comma + 1);
+    if (!first) out += ',';
+    first = false;
+    if (token.substr(0, key.size() + 1) == key + "=") {
+      out += assignment;
+      replaced = true;
+    } else {
+      out += token;
+    }
+  }
+  if (!replaced) out += (first ? "" : ",") + assignment;
+  return out;
+}
+
+/// Runs one (algo, scenario) cell and emits its report object into `w`.
+/// Returns 0, or 1 when --validate found a mismatch.
+int run_one(const Options& o, JsonWriter& w) {
   const auto t0 = std::chrono::steady_clock::now();
   scenario::Scenario sc = scenario::make_scenario(o.scenario);
   if (!o.save_graph_path.empty()) save_binary(sc.graph, o.save_graph_path);
 
-  congest::Network net(sc.graph);
-  net.set_validate(o.validate);
-  net.set_threads(o.threads);
-  if (o.parallel_threshold >= 0)
-    net.set_parallel_round_threshold(o.parallel_threshold);
-
-  const SpanningTree tree = build_bfs_tree(net, /*root=*/0);
-  const std::int64_t setup_rounds = net.total_rounds();
-  const std::int64_t setup_messages = net.total_messages();
-
+  // `--algo=none` stops after scenario resolution: no engine, no BFS tree,
+  // no algorithm — the report is just the scenario section. This is the
+  // cheap probe for generator scaling studies (`--sweep` over n) and the
+  // CI large-n generation smoke.
+  std::optional<congest::Network> net;
+  std::int64_t setup_rounds = 0;
+  std::int64_t setup_messages = 0;
   RunReport rep;
-  if (o.algo == "components") rep = run_components(net, tree, sc, o);
-  else if (o.algo == "mst") rep = run_mst(net, tree, sc, o);
-  else if (o.algo == "mincut") rep = run_mincut(net, tree, sc, o);
-  else if (o.algo == "aggregate") rep = run_aggregate(net, tree, sc, o);
-  else if (o.algo == "shortcut") rep = run_shortcut(net, tree, sc, o);
-  else LCS_CHECK(false, "unknown --algo '" + o.algo + "' (see --help)");
+  if (o.algo != "none") {
+    net.emplace(sc.graph);
+    net->set_validate(o.validate);
+    net->set_threads(o.threads);
+    if (o.parallel_threshold >= 0)
+      net->set_parallel_round_threshold(o.parallel_threshold);
+
+    const SpanningTree tree = build_bfs_tree(*net, /*root=*/0);
+    setup_rounds = net->total_rounds();
+    setup_messages = net->total_messages();
+
+    if (o.algo == "components") rep = run_components(*net, tree, sc, o);
+    else if (o.algo == "mst") rep = run_mst(*net, tree, sc, o);
+    else if (o.algo == "mincut") rep = run_mincut(*net, tree, sc, o);
+    else if (o.algo == "aggregate") rep = run_aggregate(*net, tree, sc, o);
+    else if (o.algo == "shortcut") rep = run_shortcut(*net, tree, sc, o);
+    else LCS_CHECK(false, "unknown --algo '" + o.algo + "' (see --help)");
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 t0)
           .count();
 
-  std::ofstream file_out;
-  if (!o.out_path.empty()) {
-    file_out.open(o.out_path, std::ios::trunc);
-    LCS_CHECK(file_out.is_open(),
-              "cannot open '" + o.out_path + "' for writing");
-  }
-  std::ostream& out = o.out_path.empty() ? std::cout : file_out;
-
-  JsonWriter w(out);
   w.begin_object();
   w.kv("schema", std::int64_t{1});
   w.kv("algorithm", o.algo);
@@ -438,9 +588,12 @@ int run(const Options& o) {
   w.kv("edges", sc.graph.num_edges());
   w.kv("total_weight", sc.graph.total_weight());
   w.kv("parts", sc.partition.num_parts);
-  w.kv("diameter_lb", diameter_double_sweep(sc.graph));
-  if (o.metrics)
+  // Both metrics below are BFS sweeps over the whole graph — priced like
+  // the oracles, so large-n runs only pay for them on request.
+  if (o.metrics) {
+    w.kv("diameter_lb", diameter_double_sweep(sc.graph));
     w.kv("max_part_diameter", max_part_diameter(sc.graph, sc.partition));
+  }
   w.end_object();
 
   w.key("config").begin_object();
@@ -449,20 +602,22 @@ int run(const Options& o) {
   if (o.algo == "components") w.kv("fail_rate", o.fail_rate);
   w.end_object();
 
-  w.key("setup").begin_object();
-  w.kv("rounds", setup_rounds);
-  w.kv("messages", setup_messages);
-  w.end_object();
+  if (net) {
+    w.key("setup").begin_object();
+    w.kv("rounds", setup_rounds);
+    w.kv("messages", setup_messages);
+    w.end_object();
 
-  w.key("result").begin_object();
-  rep.result(w);
-  w.kv("rounds", net.total_rounds() - setup_rounds);
-  w.kv("messages", net.total_messages() - setup_messages);
-  w.end_object();
+    w.key("result").begin_object();
+    rep.result(w);
+    w.kv("rounds", net->total_rounds() - setup_rounds);
+    w.kv("messages", net->total_messages() - setup_messages);
+    w.end_object();
 
-  w.key("charges").begin_object();
-  for (const auto& [label, rounds] : net.charged_rounds()) w.kv(label, rounds);
-  w.end_object();
+    w.key("charges").begin_object();
+    for (const auto& [label, rounds] : net->charged_rounds()) w.kv(label, rounds);
+    w.end_object();
+  }
 
   w.key("validation").begin_object();
   w.kv("checked", rep.validated);
@@ -474,12 +629,11 @@ int run(const Options& o) {
 
   if (o.timing) {
     w.key("timing").begin_object();
-    w.kv("threads", net.threads());
+    if (net) w.kv("threads", net->threads());
     w.kv("wall_ms", wall_ms);
     w.end_object();
   }
   w.end_object();
-  w.finish();
 
   if (rep.validated && !rep.ok) {
     std::cerr << "lcs_run: VALIDATION FAILED for --algo=" << o.algo
@@ -487,6 +641,49 @@ int run(const Options& o) {
     return 1;
   }
   return 0;
+}
+
+int run(const Options& o) {
+  LCS_CHECK(!o.scenario.empty(), "missing --scenario (see --help)");
+  LCS_CHECK(!o.algo.empty(), "missing --algo (see --help)");
+  LCS_CHECK(o.sweep.empty() || o.save_graph_path.empty(),
+            "--save-graph with --sweep would overwrite the same path at "
+            "every point; save single runs instead");
+
+  // Buffer the whole document and write it only once it is complete: a
+  // failing run (bad spec, mid-sweep CheckFailure) must neither truncate a
+  // pre-existing --out report nor leave malformed partial JSON behind.
+  std::ostringstream buffer;
+  JsonWriter w(buffer);
+
+  int rc = 0;
+  if (o.sweep.empty()) {
+    rc = run_one(o, w);
+  } else {
+    // Sweep mode: one report object per point, collected into a single
+    // array. Every point is an independent full run (fresh graph, network,
+    // and seed), so each array element equals the report of the equivalent
+    // single invocation.
+    const Sweep sweep = parse_sweep(o.sweep);
+    w.begin_array();
+    for (const std::int64_t value : sweep.values) {
+      Options point = o;
+      point.scenario = spec_with_param(o.scenario, sweep.key, value);
+      rc = std::max(rc, run_one(point, w));
+    }
+    w.end_array();
+  }
+  w.finish();
+
+  if (o.out_path.empty()) {
+    std::cout << buffer.str();
+  } else {
+    std::ofstream file_out(o.out_path, std::ios::trunc);
+    LCS_CHECK(file_out.is_open(),
+              "cannot open '" + o.out_path + "' for writing");
+    file_out << buffer.str();
+  }
+  return rc;
 }
 
 }  // namespace
