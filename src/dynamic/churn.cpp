@@ -1,0 +1,197 @@
+#include "dynamic/churn.h"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <utility>
+
+#include "scenario/scenario.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lcs::dynamic {
+
+namespace {
+
+constexpr std::string_view kPrefix = "churn:base=";
+
+/// Weight parsed from one side of a `lo-hi` range.
+Weight parse_weight(std::string_view token, const char* what) {
+  Weight value{};
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  LCS_CHECK(res.ec == std::errc() && res.ptr == token.data() + token.size(),
+            std::string("churn weights: malformed ") + what + " '" +
+                std::string(token) + "'");
+  return value;
+}
+
+ChurnParams from_args(scenario::SpecArgs& args) {
+  ChurnParams p;
+  p.steps = args.get_int("steps", p.steps);
+  LCS_CHECK(p.steps >= 1, "churn needs steps >= 1");
+  p.rate = args.get_double("rate", p.rate);
+  LCS_CHECK(p.rate > 0.0, "churn rate must be positive");
+  p.delete_frac = args.get_double("dfrac", p.delete_frac);
+  LCS_CHECK(p.delete_frac >= 0.0 && p.delete_frac <= 1.0,
+            "churn dfrac must be in [0, 1]");
+  p.seed = args.get_uint("seed", p.seed);
+  p.checkpoints = args.get_int("checkpoints", p.checkpoints);
+  LCS_CHECK(p.checkpoints >= 1 && p.checkpoints <= p.steps,
+            "churn needs 1 <= checkpoints <= steps");
+  if (args.has(std::string_view("weights"))) {
+    const std::string range = args.get_string("weights", "");
+    const auto dash = range.find('-');
+    LCS_CHECK(dash != std::string::npos && dash > 0 && dash + 1 < range.size(),
+              "churn weights= wants a 'lo-hi' range, got '" + range + "'");
+    p.weight_lo =
+        parse_weight(std::string_view(range).substr(0, dash), "range start");
+    p.weight_hi =
+        parse_weight(std::string_view(range).substr(dash + 1), "range end");
+    LCS_CHECK(p.weight_lo >= 1 && p.weight_lo <= p.weight_hi,
+              "churn weights= needs 1 <= lo <= hi");
+    LCS_CHECK(p.weight_hi <=
+                  static_cast<Weight>(std::numeric_limits<std::int64_t>::max()),
+              "churn weights= range end exceeds the signed draw range");
+  }
+  const std::string verify = args.get_string("verify", "step");
+  if (verify == "step") p.verify = VerifyMode::kEveryStep;
+  else if (verify == "sample") p.verify = VerifyMode::kSampled;
+  else if (verify == "off") p.verify = VerifyMode::kOff;
+  else LCS_CHECK(false, "churn verify= wants step|sample|off, got '" + verify +
+                            "'");
+  p.verify_period = args.get_int("vperiod", p.verify_period);
+  LCS_CHECK(p.verify_period >= 1, "churn vperiod must be >= 1");
+  args.check_all_consumed();
+  return p;
+}
+
+/// Split a comma-separated `key=value` list into SpecArgs under the given
+/// family name (for diagnostics).
+scenario::SpecArgs split_params(std::string_view csv) {
+  std::vector<std::pair<std::string, std::string>> params;
+  std::string_view rest = csv;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    LCS_CHECK(!token.empty(), "empty parameter in churn spec");
+    const auto eq = token.find('=');
+    LCS_CHECK(eq != std::string_view::npos && eq > 0,
+              "churn parameter '" + std::string(token) +
+                  "' is not of the form key=value");
+    params.emplace_back(std::string(token.substr(0, eq)),
+                        std::string(token.substr(eq + 1)));
+  }
+  return scenario::SpecArgs("churn", std::move(params));
+}
+
+}  // namespace
+
+bool is_churn_spec(std::string_view spec) {
+  return spec.substr(0, 6) == "churn:" || spec == "churn";
+}
+
+ChurnParams parse_churn_params(std::string_view params) {
+  scenario::SpecArgs args = split_params(params);
+  return from_args(args);
+}
+
+ChurnSpec parse_churn_spec(std::string_view spec) {
+  LCS_CHECK(spec.substr(0, kPrefix.size()) == kPrefix,
+            "churn spec wants 'churn:base=<spec>;<params>', got '" +
+                std::string(spec) + "'");
+  std::string_view rest = spec.substr(kPrefix.size());
+  const auto semi = rest.find(';');
+  ChurnSpec out;
+  out.base = std::string(rest.substr(0, semi));
+  LCS_CHECK(!out.base.empty(), "churn spec has an empty base spec");
+  if (semi != std::string_view::npos)
+    out.params = parse_churn_params(rest.substr(semi + 1));
+  return out;
+}
+
+ChurnResult run_churn(const Graph& initial, const std::vector<PartId>& part_of,
+                      const ChurnParams& params) {
+  LCS_CHECK(part_of.size() == static_cast<std::size_t>(initial.num_nodes()),
+            "churn partition labeling size mismatch");
+  LCS_CHECK(initial.num_nodes() >= 2, "churn needs at least 2 nodes");
+
+  VerifiedDynamicGraph verified(initial, params.verify, params.verify_period);
+  Rng rng(params.seed);
+
+  ChurnResult result;
+  result.ops_per_step = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(params.rate *
+                                   static_cast<double>(initial.num_edges())));
+
+  const auto record = [&](std::int64_t step) {
+    verified.full_verify();
+    const DynamicGraph& fast = verified.fast();
+    ChurnCheckpoint cp;
+    cp.step = step;
+    cp.edges = fast.num_edges();
+    cp.components = verified.fast().num_components();
+    cp.msf_weight = fast.msf_weight();
+    cp.msf_edges = fast.msf_size();
+    const DynamicGraph::Snapshot snap = fast.snapshot();
+    cp.maintained = forest_part_quality(snap.graph, part_of, snap.in_msf);
+    cp.fresh = forest_part_quality(snap.graph, part_of,
+                                   bfs_forest_edges(snap.graph));
+    cp.counters = fast.counters();
+    cp.full_verifications = verified.full_verifications();
+    result.checkpoints.push_back(cp);
+  };
+
+  record(0);
+
+  const NodeId n = initial.num_nodes();
+  std::int64_t next_checkpoint = 1;
+  for (std::int64_t step = 1; step <= params.steps; ++step) {
+    for (std::int64_t op = 0; op < result.ops_per_step; ++op) {
+      if (rng.next_bool(params.delete_frac)) {
+        DynamicGraph& fast = verified.fast();
+        if (fast.num_edges() == 0) {
+          ++result.skipped_deletes;
+          continue;
+        }
+        const std::int64_t index = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(fast.num_edges())));
+        const DynamicGraph::EdgeRef pick = fast.live_edge(index);
+        verified.delete_edge(pick.u, pick.v);
+      } else {
+        bool inserted = false;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const NodeId u = static_cast<NodeId>(
+              rng.next_below(static_cast<std::uint64_t>(n)));
+          const NodeId v = static_cast<NodeId>(
+              rng.next_below(static_cast<std::uint64_t>(n)));
+          if (u == v || verified.fast().has_edge(u, v)) continue;
+          const Weight w =
+              params.weight_lo == params.weight_hi
+                  ? params.weight_lo
+                  : static_cast<Weight>(rng.next_in(
+                        static_cast<std::int64_t>(params.weight_lo),
+                        static_cast<std::int64_t>(params.weight_hi)));
+          verified.insert_edge(u, v, w);
+          inserted = true;
+          break;
+        }
+        if (!inserted) ++result.skipped_inserts;
+      }
+    }
+    // Checkpoint schedule: the i-th checkpoint fires at step
+    // round(i * steps / checkpoints), so the last always lands on `steps`.
+    if (step * params.checkpoints >= next_checkpoint * params.steps) {
+      record(step);
+      while (step * params.checkpoints >= next_checkpoint * params.steps)
+        ++next_checkpoint;
+    }
+  }
+
+  result.final_snapshot = verified.fast().snapshot();
+  return result;
+}
+
+}  // namespace lcs::dynamic

@@ -1,0 +1,324 @@
+#include "dynamic/dynamic_graph.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace lcs::dynamic {
+
+std::uint64_t DynamicGraph::pair_key(NodeId u, NodeId v) {
+  const auto a = static_cast<std::uint32_t>(std::min(u, v));
+  const auto b = static_cast<std::uint32_t>(std::max(u, v));
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+DynamicGraph::DynamicGraph(const Graph& initial)
+    : num_nodes_(initial.num_nodes()),
+      next_seq_(static_cast<std::uint64_t>(initial.num_edges())),
+      adj_(static_cast<std::size_t>(initial.num_nodes())),
+      msf_adj_(static_cast<std::size_t>(initial.num_nodes())),
+      uf_(static_cast<std::size_t>(initial.num_nodes())) {
+  slots_.reserve(static_cast<std::size_t>(initial.num_edges()));
+  live_.reserve(static_cast<std::size_t>(initial.num_edges()));
+  for (EdgeId e = 0; e < initial.num_edges(); ++e) {
+    const auto& ed = initial.edge(e);
+    const auto slot = static_cast<std::int32_t>(slots_.size());
+    slots_.push_back(Slot{ed.u, ed.v, ed.w, static_cast<std::uint64_t>(e),
+                          static_cast<std::int64_t>(live_.size()), false});
+    live_.push_back(slot);
+    adj_[static_cast<std::size_t>(ed.u)].push_back(slot);
+    adj_[static_cast<std::size_t>(ed.v)].push_back(slot);
+  }
+
+  // Initial MSF by Kruskal over (weight, seq) keys; initial union-find is a
+  // free by-product of the same sweep (non-forest edges cannot merge).
+  std::vector<std::int32_t> order(slots_.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<std::int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return key_of(a) < key_of(b);
+  });
+  for (const std::int32_t slot : order) {
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    if (uf_.unite(static_cast<std::size_t>(s.u), static_cast<std::size_t>(s.v)))
+      msf_add(slot);
+  }
+}
+
+bool DynamicGraph::has_edge(NodeId u, NodeId v) const {
+  return find_slot(u, v) >= 0;
+}
+
+std::int32_t DynamicGraph::find_slot(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= num_nodes_ || v >= num_nodes_) return -1;
+  // Scan the shorter adjacency list; degrees under churn stay near the
+  // family average, so this is a handful of comparisons.
+  const auto& lu = adj_[static_cast<std::size_t>(u)];
+  const auto& lv = adj_[static_cast<std::size_t>(v)];
+  const auto& list = lu.size() <= lv.size() ? lu : lv;
+  const std::uint64_t want = pair_key(u, v);
+  for (const std::int32_t slot : list) {
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    if (pair_key(s.u, s.v) == want) return slot;
+  }
+  return -1;
+}
+
+void DynamicGraph::check_endpoints(NodeId u, NodeId v) const {
+  LCS_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
+            "dynamic edge endpoint out of range: (" + std::to_string(u) +
+                ", " + std::to_string(v) + ") with n = " +
+                std::to_string(num_nodes_));
+  LCS_CHECK(u != v, "dynamic self-loop rejected at node " + std::to_string(u));
+}
+
+void DynamicGraph::adj_remove(std::vector<std::int32_t>& list,
+                              std::int32_t slot) {
+  for (auto& entry : list) {
+    if (entry == slot) {
+      entry = list.back();
+      list.pop_back();
+      return;
+    }
+  }
+  LCS_CHECK(false, "dynamic adjacency lost an edge slot (internal)");
+}
+
+void DynamicGraph::msf_add(std::int32_t slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.in_msf = true;
+  msf_adj_[static_cast<std::size_t>(s.u)].push_back(slot);
+  msf_adj_[static_cast<std::size_t>(s.v)].push_back(slot);
+  msf_weight_ += s.w;
+  ++msf_edges_;
+}
+
+void DynamicGraph::msf_remove(std::int32_t slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.in_msf = false;
+  adj_remove(msf_adj_[static_cast<std::size_t>(s.u)], slot);
+  adj_remove(msf_adj_[static_cast<std::size_t>(s.v)], slot);
+  msf_weight_ -= s.w;
+  --msf_edges_;
+}
+
+bool DynamicGraph::msf_path(NodeId u, NodeId v,
+                            std::vector<std::int32_t>& out) const {
+  out.clear();
+  if (bfs_via_.empty())
+    bfs_via_.assign(static_cast<std::size_t>(num_nodes_), -1);
+  bfs_queue_.clear();
+  bfs_queue_.push_back(u);
+  bfs_via_[static_cast<std::size_t>(u)] = -2;  // visited, no via edge
+  bool found = false;
+  for (std::size_t head = 0; head < bfs_queue_.size() && !found; ++head) {
+    const NodeId x = static_cast<NodeId>(bfs_queue_[head]);
+    for (const std::int32_t slot : msf_adj_[static_cast<std::size_t>(x)]) {
+      const Slot& s = slots_[static_cast<std::size_t>(slot)];
+      const NodeId y = s.u == x ? s.v : s.u;
+      if (bfs_via_[static_cast<std::size_t>(y)] != -1) continue;
+      bfs_via_[static_cast<std::size_t>(y)] = slot;
+      if (y == v) {
+        found = true;
+        break;
+      }
+      bfs_queue_.push_back(y);
+    }
+  }
+  if (found) {
+    // Walk back from v to u collecting the via slots.
+    NodeId x = v;
+    while (x != u) {
+      const std::int32_t slot = bfs_via_[static_cast<std::size_t>(x)];
+      out.push_back(slot);
+      const Slot& s = slots_[static_cast<std::size_t>(slot)];
+      x = s.u == x ? s.v : s.u;
+    }
+  }
+  // Reset only the touched stamps (O(component), not O(n)).
+  bfs_via_[static_cast<std::size_t>(u)] = -1;
+  for (const std::int32_t q : bfs_queue_) {
+    for (const std::int32_t slot : msf_adj_[static_cast<std::size_t>(q)]) {
+      const Slot& s = slots_[static_cast<std::size_t>(slot)];
+      bfs_via_[static_cast<std::size_t>(s.u)] = -1;
+      bfs_via_[static_cast<std::size_t>(s.v)] = -1;
+    }
+  }
+  return found;
+}
+
+void DynamicGraph::insert_edge(NodeId u, NodeId v, Weight w) {
+  check_endpoints(u, v);
+  LCS_CHECK(find_slot(u, v) < 0,
+            "duplicate dynamic insert: edge (" + std::to_string(u) + ", " +
+                std::to_string(v) + ") is already live");
+
+  const auto slot = static_cast<std::int32_t>(slots_.size());
+  slots_.push_back(Slot{u, v, w, next_seq_++,
+                        static_cast<std::int64_t>(live_.size()), false});
+  live_.push_back(slot);
+  adj_[static_cast<std::size_t>(u)].push_back(slot);
+  adj_[static_cast<std::size_t>(v)].push_back(slot);
+  ++counters_.inserts;
+
+  // Components: incremental union (skipped while dirty — the pending epoch
+  // rebuild sees every live edge anyway).
+  if (!uf_dirty_) {
+    if (uf_.unite(static_cast<std::size_t>(u), static_cast<std::size_t>(v)))
+      ++counters_.uf_unions;
+  }
+
+  // MSF exchange step.
+  std::vector<std::int32_t> path;
+  if (!msf_path(u, v, path)) {
+    msf_add(slot);
+    ++counters_.msf_grows;
+    return;
+  }
+  std::int32_t worst = path.front();
+  for (const std::int32_t p : path)
+    if (key_of(worst) < key_of(p)) worst = p;
+  if (key_of(slot) < key_of(worst)) {
+    msf_remove(worst);
+    msf_add(slot);
+    ++counters_.msf_swaps;
+  }
+}
+
+void DynamicGraph::delete_edge(NodeId u, NodeId v) {
+  check_endpoints(u, v);
+  const std::int32_t slot = find_slot(u, v);
+  LCS_CHECK(slot >= 0, "delete of nonexistent dynamic edge (" +
+                           std::to_string(u) + ", " + std::to_string(v) + ")");
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+
+  // Unlink from the live list (swap-remove, positions patched) and the
+  // adjacency.
+  const std::int64_t pos = s.live_pos;
+  const std::int32_t moved = live_.back();
+  live_[static_cast<std::size_t>(pos)] = moved;
+  slots_[static_cast<std::size_t>(moved)].live_pos = pos;
+  live_.pop_back();
+  s.live_pos = -1;
+  adj_remove(adj_[static_cast<std::size_t>(s.u)], slot);
+  adj_remove(adj_[static_cast<std::size_t>(s.v)], slot);
+  ++counters_.deletes;
+
+  if (!s.in_msf) return;  // non-forest edge: components and MSF unchanged
+
+  // Forest edge: recompute the affected component via its cut. Mark the
+  // side containing u (BFS over the forest minus the deleted edge), then
+  // scan live edges for the minimum-key edge crossing the cut. Edges from
+  // other components cannot cross (the forest spans every component), so
+  // the side marking alone identifies genuine candidates.
+  msf_remove(slot);
+  if (bfs_via_.empty())
+    bfs_via_.assign(static_cast<std::size_t>(num_nodes_), -1);
+  bfs_queue_.clear();
+  bfs_queue_.push_back(s.u);
+  bfs_via_[static_cast<std::size_t>(s.u)] = -2;
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId x = static_cast<NodeId>(bfs_queue_[head]);
+    for (const std::int32_t fslot : msf_adj_[static_cast<std::size_t>(x)]) {
+      const Slot& f = slots_[static_cast<std::size_t>(fslot)];
+      const NodeId y = f.u == x ? f.v : f.u;
+      if (bfs_via_[static_cast<std::size_t>(y)] != -1) continue;
+      bfs_via_[static_cast<std::size_t>(y)] = -2;
+      bfs_queue_.push_back(y);
+    }
+  }
+  std::int32_t best = -1;
+  for (const std::int32_t cand : live_) {
+    const Slot& c = slots_[static_cast<std::size_t>(cand)];
+    const bool cu = bfs_via_[static_cast<std::size_t>(c.u)] == -2;
+    const bool cv = bfs_via_[static_cast<std::size_t>(c.v)] == -2;
+    if (cu == cv) continue;
+    if (best < 0 || key_of(cand) < key_of(best)) best = cand;
+  }
+  for (const std::int32_t q : bfs_queue_) bfs_via_[static_cast<std::size_t>(q)] = -1;
+
+  if (best >= 0) {
+    // Matroid exchange: MSF(G - e) = MSF(G) - e + min cut edge, so the
+    // maintained forest equals the from-scratch forest and the node
+    // partition into components is unchanged — the union-find stays exact.
+    msf_add(best);
+    ++counters_.msf_replacements;
+  } else {
+    // A real split: union-find cannot un-merge, so open a new epoch.
+    ++counters_.msf_splits;
+    uf_dirty_ = true;
+  }
+}
+
+void DynamicGraph::rebuild_union_find() {
+  uf_ = UnionFind(static_cast<std::size_t>(num_nodes_));
+  for (const std::int32_t slot : live_) {
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    uf_.unite(static_cast<std::size_t>(s.u), static_cast<std::size_t>(s.v));
+  }
+  uf_dirty_ = false;
+  ++counters_.uf_rebuilds;
+}
+
+std::int64_t DynamicGraph::num_components() {
+  if (uf_dirty_) rebuild_union_find();
+  const auto from_uf = static_cast<std::int64_t>(uf_.num_components());
+  LCS_CHECK(from_uf == msf_components(),
+            "dynamic maintenance disagreement: union-find sees " +
+                std::to_string(from_uf) + " components, the forest implies " +
+                std::to_string(msf_components()));
+  return from_uf;
+}
+
+DynamicGraph::EdgeRef DynamicGraph::live_edge(std::int64_t index) const {
+  LCS_CHECK(index >= 0 && index < num_edges(),
+            "live edge index " + std::to_string(index) + " out of range (" +
+                std::to_string(num_edges()) + " live edges)");
+  const Slot& s = slots_[static_cast<std::size_t>(
+      live_[static_cast<std::size_t>(index)])];
+  return EdgeRef{s.u, s.v, s.w, s.seq};
+}
+
+DynamicGraph::EdgeRef DynamicGraph::edge_between(NodeId u, NodeId v) const {
+  const std::int32_t slot = find_slot(u, v);
+  LCS_CHECK(slot >= 0, "no live dynamic edge between " + std::to_string(u) +
+                           " and " + std::to_string(v));
+  const Slot& s = slots_[static_cast<std::size_t>(slot)];
+  return EdgeRef{s.u, s.v, s.w, s.seq};
+}
+
+std::vector<std::uint64_t> DynamicGraph::msf_seqs() const {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(static_cast<std::size_t>(msf_edges_));
+  for (const std::int32_t slot : live_) {
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    if (s.in_msf) seqs.push_back(s.seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+DynamicGraph::Snapshot DynamicGraph::snapshot() const {
+  std::vector<std::int32_t> order(live_);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return slots_[static_cast<std::size_t>(a)].seq <
+           slots_[static_cast<std::size_t>(b)].seq;
+  });
+  std::vector<Graph::Edge> edges;
+  std::vector<bool> in_msf;
+  std::vector<std::uint64_t> seq;
+  edges.reserve(order.size());
+  in_msf.reserve(order.size());
+  seq.reserve(order.size());
+  for (const std::int32_t slot : order) {
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    edges.push_back({s.u, s.v, s.w});
+    in_msf.push_back(s.in_msf);
+    seq.push_back(s.seq);
+  }
+  return Snapshot{Graph(num_nodes_, std::move(edges)), std::move(in_msf),
+                  std::move(seq)};
+}
+
+}  // namespace lcs::dynamic

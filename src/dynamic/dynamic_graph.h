@@ -1,0 +1,192 @@
+/// \file dynamic_graph.h
+/// Mutable graph under edge churn with incrementally maintained structure:
+/// connected components (union-find with rebuild-on-delete epochs) and the
+/// minimum spanning forest (edge swap on insert, cut replacement on delete).
+///
+/// Every scenario elsewhere in the repo is a one-shot static solve; this is
+/// the long-lived counterpart (ROADMAP item 3): a structure that absorbs a
+/// deterministic insert/delete stream and keeps its invariants continuously,
+/// so correctness survives updates instead of only fresh builds.
+///
+/// ## Edge identity
+///
+/// Weight ties are broken by a stable *sequence number*: the initial edges
+/// keep their construction edge ids `0..m-1`, and every later insertion gets
+/// the next number, never reused. All weight comparisons are lexicographic
+/// on `(weight, seq)`, so — exactly like the static library's
+/// `(weight, edge id)` order — the minimum spanning forest is unique and the
+/// maintained structure can be compared bit-for-bit against a
+/// recompute-from-scratch oracle (see `verified.h`).
+///
+/// ## Maintenance strategy
+///
+///  * **Components.** A `UnionFind` absorbs insertions incrementally.
+///    Union-find cannot un-merge, so a deletion that actually splits a
+///    component opens a new *epoch*: the structure is marked dirty and
+///    rebuilt from the live edge set at the next query. Deletions that keep
+///    connectivity (non-forest edges, or forest edges with a replacement)
+///    provably leave the node partition unchanged and cost nothing.
+///  * **MSF.** On insert, the classic exchange step: if the new edge closes
+///    a cycle, the maximum-key edge on that cycle is evicted when the new
+///    key is smaller. On delete of a forest edge, the affected component is
+///    recomputed via its cut: the minimum-key live edge reconnecting the two
+///    sides replaces the deleted one (matroid exchange — this reproduces the
+///    from-scratch forest exactly); if none exists the component splits.
+///  * The two structures cross-check each other on every components query:
+///    `n - |MSF|` must equal the union-find's component count. Redundant on
+///    purpose — disagreement is diagnosed, not averaged.
+///
+/// Path searches run over the forest adjacency in O(component) and cut
+/// replacement scans live edges in O(m): right for the churn scenarios
+/// (10^2..10^4 nodes, thousands of steps, per-step verification), not for
+/// million-edge streams — those want link-cut trees behind this same API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/union_find.h"
+
+namespace lcs::dynamic {
+
+/// Lexicographic (weight, sequence-number) key; unique per edge ever
+/// inserted, so it totally orders edges and makes the MSF unique.
+struct EdgeKey {
+  Weight w = 0;
+  std::uint64_t seq = 0;
+  friend bool operator<(const EdgeKey& a, const EdgeKey& b) {
+    return a.w != b.w ? a.w < b.w : a.seq < b.seq;
+  }
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+};
+
+class DynamicGraph {
+ public:
+  /// One live edge as reported to callers (deletion pickers, snapshots).
+  struct EdgeRef {
+    NodeId u = kNoNode;
+    NodeId v = kNoNode;
+    Weight w = 1;
+    std::uint64_t seq = 0;
+  };
+
+  /// Mutation and maintenance counters, all monotone. `uf_rebuilds` counts
+  /// the rebuild-on-delete epochs; `msf_splits` counts deletions that
+  /// disconnected a component (every one implies a later rebuild).
+  struct Counters {
+    std::int64_t inserts = 0;
+    std::int64_t deletes = 0;
+    std::int64_t msf_grows = 0;         ///< insert joined two components
+    std::int64_t msf_swaps = 0;         ///< insert evicted a heavier edge
+    std::int64_t msf_replacements = 0;  ///< delete found a cut replacement
+    std::int64_t msf_splits = 0;        ///< delete disconnected a component
+    std::int64_t uf_rebuilds = 0;       ///< epochs: rebuilds after a split
+    std::int64_t uf_unions = 0;         ///< incremental union-find merges
+    friend bool operator==(const Counters&, const Counters&) = default;
+  };
+
+  /// Seeds the structure from a static graph; its edges keep their ids as
+  /// sequence numbers. Builds the initial union-find and MSF.
+  explicit DynamicGraph(const Graph& initial);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(live_.size());
+  }
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Inserts a new edge. Diagnoses self-loops, out-of-range endpoints, and
+  /// duplicate insertion (the edge already being live) via CheckFailure.
+  void insert_edge(NodeId u, NodeId v, Weight w);
+
+  /// Deletes a live edge. Diagnoses deletion of a nonexistent edge.
+  void delete_edge(NodeId u, NodeId v);
+
+  /// The index-th live edge in internal order — a deterministic function of
+  /// the mutation history, used by churn streams to pick uniform deletions.
+  EdgeRef live_edge(std::int64_t index) const;
+
+  /// The live edge between u and v. Diagnoses absence.
+  EdgeRef edge_between(NodeId u, NodeId v) const;
+
+  /// Component count from the union-find, rebuilding it first if a split
+  /// opened a new epoch. Cross-checks the MSF-derived count and diagnoses
+  /// disagreement (the continuous self-verification this subsystem is for).
+  std::int64_t num_components();
+
+  /// Component count implied by the maintained forest: n - |MSF|.
+  std::int64_t msf_components() const {
+    return static_cast<std::int64_t>(num_nodes_) - msf_edges_;
+  }
+
+  Weight msf_weight() const { return msf_weight_; }
+  std::int64_t msf_size() const { return msf_edges_; }
+
+  /// Sorted sequence numbers of the maintained forest — the canonical form
+  /// compared against the from-scratch Kruskal oracle.
+  std::vector<std::uint64_t> msf_seqs() const;
+
+  /// Immutable snapshot for checkpoint metrics and engine cross-checks:
+  /// live edges sorted by sequence number (so snapshot edge id order is the
+  /// key order), with parallel in-forest flags and sequence numbers.
+  struct Snapshot {
+    Graph graph;
+    std::vector<bool> in_msf;        ///< per snapshot edge id
+    std::vector<std::uint64_t> seq;  ///< per snapshot edge id
+  };
+  Snapshot snapshot() const;
+
+  const Counters& counters() const { return counters_; }
+
+  /// Test-only corruption hooks for the verified-mirror self-test: skew the
+  /// cached forest weight / component bookkeeping without touching edges,
+  /// exactly the kind of silent fast-structure rot the mirror must catch.
+  void debug_add_msf_weight(Weight delta) { msf_weight_ += delta; }
+
+ private:
+  struct Slot {
+    NodeId u = kNoNode;
+    NodeId v = kNoNode;
+    Weight w = 1;
+    std::uint64_t seq = 0;
+    std::int64_t live_pos = -1;  ///< index into live_, -1 once deleted
+    bool in_msf = false;
+  };
+
+  EdgeKey key_of(std::int32_t slot) const {
+    const Slot& s = slots_[static_cast<std::size_t>(slot)];
+    return EdgeKey{s.w, s.seq};
+  }
+  static std::uint64_t pair_key(NodeId u, NodeId v);
+  std::int32_t find_slot(NodeId u, NodeId v) const;  // -1 if absent
+  void check_endpoints(NodeId u, NodeId v) const;
+
+  void adj_remove(std::vector<std::int32_t>& list, std::int32_t slot);
+  void msf_add(std::int32_t slot);
+  void msf_remove(std::int32_t slot);
+  /// Forest path u -> v as slot ids; empty if disconnected in the forest.
+  bool msf_path(NodeId u, NodeId v, std::vector<std::int32_t>& out) const;
+  void rebuild_union_find();
+
+  NodeId num_nodes_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Slot> slots_;              // grows monotonically, never reused
+  std::vector<std::int32_t> live_;       // live slot ids, internal order
+  std::vector<std::vector<std::int32_t>> adj_;      // live slots per node
+  std::vector<std::vector<std::int32_t>> msf_adj_;  // forest slots per node
+
+  Weight msf_weight_ = 0;
+  std::int64_t msf_edges_ = 0;
+
+  UnionFind uf_;
+  bool uf_dirty_ = false;  // a split happened; rebuild at next query
+
+  Counters counters_;
+
+  // Scratch reused by msf_path / cut replacement (cleared per use).
+  mutable std::vector<std::int32_t> bfs_queue_;
+  mutable std::vector<std::int32_t> bfs_via_;  // slot used to reach node
+};
+
+}  // namespace lcs::dynamic

@@ -1,0 +1,132 @@
+#include "dynamic/verified.h"
+
+#include <algorithm>
+#include <string>
+
+#include "graph/union_find.h"
+#include "util/check.h"
+
+namespace lcs::dynamic {
+
+VerifiedDynamicGraph::VerifiedDynamicGraph(const Graph& initial,
+                                           VerifyMode mode,
+                                           std::int64_t sample_period)
+    : fast_(initial),
+      mirror_next_seq_(static_cast<std::uint64_t>(initial.num_edges())),
+      mode_(mode),
+      sample_period_(sample_period) {
+  LCS_CHECK(sample_period_ >= 1, "verify sample period must be >= 1");
+  mirror_.reserve(static_cast<std::size_t>(initial.num_edges()));
+  for (EdgeId e = 0; e < initial.num_edges(); ++e) {
+    const auto& ed = initial.edge(e);
+    mirror_.push_back(
+        MirrorEdge{ed.u, ed.v, ed.w, static_cast<std::uint64_t>(e)});
+  }
+  if (mode_ == VerifyMode::kEveryStep) full_verify();
+}
+
+void VerifiedDynamicGraph::insert_edge(NodeId u, NodeId v, Weight w) {
+  fast_.insert_edge(u, v, w);  // throws before the mirror diverges
+  mirror_.push_back(MirrorEdge{u, v, w, mirror_next_seq_++});
+  after_mutation(u, v, /*expect_present=*/true);
+}
+
+void VerifiedDynamicGraph::delete_edge(NodeId u, NodeId v) {
+  fast_.delete_edge(u, v);  // throws before the mirror diverges
+  const auto key = [&](const MirrorEdge& e) {
+    return (std::min(e.u, e.v) == std::min(u, v)) &&
+           (std::max(e.u, e.v) == std::max(u, v));
+  };
+  const auto it = std::find_if(mirror_.begin(), mirror_.end(), key);
+  LCS_CHECK(it != mirror_.end(),
+            "mirror lost edge (" + std::to_string(u) + ", " +
+                std::to_string(v) + ") the fast structure had");
+  mirror_.erase(it);  // naive by design: preserves insertion order
+  after_mutation(u, v, /*expect_present=*/false);
+}
+
+void VerifiedDynamicGraph::after_mutation(NodeId u, NodeId v,
+                                          bool expect_present) {
+  ++mutations_;
+  if (mode_ == VerifyMode::kOff) return;
+
+  // Local check after *every* mutation (the verify_neighbours analogue):
+  // the mutated edge's presence and the global edge count must agree.
+  LCS_CHECK(fast_.num_edges() == static_cast<std::int64_t>(mirror_.size()),
+            "fast structure holds " + std::to_string(fast_.num_edges()) +
+                " live edges, mirror holds " +
+                std::to_string(mirror_.size()));
+  LCS_CHECK(fast_.has_edge(u, v) == expect_present,
+            "fast structure disagrees about edge (" + std::to_string(u) +
+                ", " + std::to_string(v) + ") after the mutation");
+
+  if (mode_ == VerifyMode::kEveryStep ||
+      (mode_ == VerifyMode::kSampled && mutations_ % sample_period_ == 0)) {
+    full_verify();
+  }
+}
+
+void VerifiedDynamicGraph::full_verify() {
+  ++full_verifications_;
+
+  // Edge sets equal: counts match and every mirror edge is live in the fast
+  // structure with the same weight and sequence number (count equality
+  // makes the subset check an equality check).
+  LCS_CHECK(fast_.num_edges() == static_cast<std::int64_t>(mirror_.size()),
+            "fast structure holds " + std::to_string(fast_.num_edges()) +
+                " live edges, mirror holds " +
+                std::to_string(mirror_.size()));
+  for (const MirrorEdge& e : mirror_) {
+    LCS_CHECK(fast_.has_edge(e.u, e.v),
+              "mirror edge (" + std::to_string(e.u) + ", " +
+                  std::to_string(e.v) + ") missing from the fast structure");
+    const DynamicGraph::EdgeRef ref = fast_.edge_between(e.u, e.v);
+    LCS_CHECK(ref.w == e.w && ref.seq == e.seq,
+              "mirror edge (" + std::to_string(e.u) + ", " +
+                  std::to_string(e.v) +
+                  ") diverged in weight or sequence number");
+  }
+
+  // Components oracle: union-find rebuilt from scratch over the mirror.
+  UnionFind oracle(static_cast<std::size_t>(fast_.num_nodes()));
+  for (const MirrorEdge& e : mirror_)
+    oracle.unite(static_cast<std::size_t>(e.u), static_cast<std::size_t>(e.v));
+  const auto oracle_components =
+      static_cast<std::int64_t>(oracle.num_components());
+  LCS_CHECK(fast_.num_components() == oracle_components,
+            "incremental components = " +
+                std::to_string(fast_.num_components()) +
+                " but the from-scratch oracle found " +
+                std::to_string(oracle_components));
+
+  // MSF oracle: Kruskal over the mirror in (weight, seq) order; the
+  // maintained forest must match in total weight and exact edge set.
+  std::vector<std::size_t> order(mirror_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const EdgeKey ka{mirror_[a].w, mirror_[a].seq};
+    const EdgeKey kb{mirror_[b].w, mirror_[b].seq};
+    return ka < kb;
+  });
+  UnionFind forest_uf(static_cast<std::size_t>(fast_.num_nodes()));
+  Weight oracle_weight = 0;
+  std::vector<std::uint64_t> oracle_seqs;
+  for (const std::size_t i : order) {
+    const MirrorEdge& e = mirror_[i];
+    if (forest_uf.unite(static_cast<std::size_t>(e.u),
+                        static_cast<std::size_t>(e.v))) {
+      oracle_weight += e.w;
+      oracle_seqs.push_back(e.seq);
+    }
+  }
+  std::sort(oracle_seqs.begin(), oracle_seqs.end());
+  LCS_CHECK(fast_.msf_weight() == oracle_weight,
+            "incremental MSF weight = " + std::to_string(fast_.msf_weight()) +
+                " but the Kruskal oracle computed " +
+                std::to_string(oracle_weight));
+  LCS_CHECK(fast_.msf_seqs() == oracle_seqs,
+            "incremental MSF edge set diverged from the Kruskal oracle "
+            "(same weight classes, different edges)");
+}
+
+}  // namespace lcs::dynamic

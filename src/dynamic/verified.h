@@ -1,0 +1,84 @@
+/// \file verified.h
+/// The verified-mirror harness for dynamic graphs: every mutation is applied
+/// to both the fast incremental structure (`DynamicGraph`) and a naive
+/// mirror (a plain edge vector), and the incremental state is asserted equal
+/// to recompute-from-scratch oracles — union-find components and Kruskal
+/// MSF — as the stream runs.
+///
+/// This lifts the idiom of realm-core's `VerifiedInteger` (and of this
+/// repo's own engine stress harness, `tests/stress_util.h`) from container /
+/// engine level up to the algorithm layer:
+///
+///  * a cheap *local* check after **every** mutation (edge counts agree and
+///    the mutated edge is present/absent in both structures — the analogue
+///    of `verify_neighbours`), plus
+///  * a full from-scratch comparison (`full_verify`) after every mutation in
+///    `kEveryStep` mode, or every `sample_period`-th mutation in `kSampled`
+///    mode — the `occasional_verify` pattern for long streams where
+///    per-mutation Kruskal would dominate the run.
+///
+/// Any disagreement throws CheckFailure naming the diverging quantity; the
+/// churn driver turns that into a nonzero exit, so a maintenance bug cannot
+/// produce a plausible-but-wrong report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "graph/graph.h"
+
+namespace lcs::dynamic {
+
+enum class VerifyMode {
+  kEveryStep,  ///< full oracle comparison after every mutation
+  kSampled,    ///< full comparison every sample_period mutations
+  kOff,        ///< no implicit checks (full_verify still callable)
+};
+
+class VerifiedDynamicGraph {
+ public:
+  explicit VerifiedDynamicGraph(const Graph& initial,
+                                VerifyMode mode = VerifyMode::kEveryStep,
+                                std::int64_t sample_period = 64);
+
+  /// Mutations, applied to the fast structure *and* the mirror, then
+  /// verified per the mode. Precondition failures (duplicate insert, delete
+  /// of a nonexistent edge) throw out of the fast structure before the
+  /// mirror is touched, so the pair never diverges on a rejected mutation.
+  void insert_edge(NodeId u, NodeId v, Weight w);
+  void delete_edge(NodeId u, NodeId v);
+
+  /// Full from-scratch comparison: live edge sets equal, union-find oracle
+  /// component count equal, Kruskal oracle forest (weight and exact edge
+  /// set, by sequence number) equal. Throws CheckFailure on any mismatch.
+  void full_verify();
+
+  /// The fast structure. Tests reach through this to corrupt it and prove
+  /// the mirror catches the divergence; the churn driver reads checkpoints.
+  DynamicGraph& fast() { return fast_; }
+  const DynamicGraph& fast() const { return fast_; }
+
+  std::int64_t mutations() const { return mutations_; }
+  std::int64_t full_verifications() const { return full_verifications_; }
+
+ private:
+  struct MirrorEdge {
+    NodeId u;
+    NodeId v;
+    Weight w;
+    std::uint64_t seq;
+  };
+
+  void after_mutation(NodeId u, NodeId v, bool expect_present);
+
+  DynamicGraph fast_;
+  std::vector<MirrorEdge> mirror_;  // naive: append, linear-scan erase
+  std::uint64_t mirror_next_seq_;
+  VerifyMode mode_;
+  std::int64_t sample_period_;
+  std::int64_t mutations_ = 0;
+  std::int64_t full_verifications_ = 0;
+};
+
+}  // namespace lcs::dynamic

@@ -268,8 +268,12 @@ Graph read_binary(std::istream& in) {
     std::uint32_t u = 0, v = 0;
     std::uint64_t w = 0;
     LCS_CHECK(get_u32(in, u) && get_u32(in, v) && get_u64(in, w),
-              "binary graph truncated in edge payload");
-    LCS_CHECK(u < n64 && v < n64, "binary graph edge endpoint out of range");
+              "binary graph truncated in edge payload (EOF at edge " +
+                  std::to_string(i) + " of " + std::to_string(m64) +
+                  " declared in the header)");
+    LCS_CHECK(u < n64 && v < n64,
+              "binary graph edge " + std::to_string(i) +
+                  " endpoint out of range");
     edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
   }
   return Graph(static_cast<NodeId>(n64), std::move(edges));

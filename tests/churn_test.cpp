@@ -1,0 +1,225 @@
+/// Tests for the churn spec grammar, the deterministic churn runner, and the
+/// forest-quality metrics that back its checkpoint reports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/churn.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/metrics.h"
+#include "graph/partition.h"
+#include "scenario/scenario.h"
+#include "util/check.h"
+
+namespace lcs::dynamic {
+namespace {
+
+TEST(ChurnSpec, ParsesWrapperAndDefaults) {
+  const ChurnSpec s = parse_churn_spec(
+      "churn:base=er:n=50,deg=4,seed=5;steps=20,rate=0.1,seed=3");
+  EXPECT_EQ(s.base, "er:n=50,deg=4,seed=5");
+  EXPECT_EQ(s.params.steps, 20);
+  EXPECT_DOUBLE_EQ(s.params.rate, 0.1);
+  EXPECT_EQ(s.params.seed, 3u);
+  // Untouched parameters keep their documented defaults.
+  EXPECT_DOUBLE_EQ(s.params.delete_frac, 0.5);
+  EXPECT_EQ(s.params.checkpoints, 10);
+  EXPECT_EQ(s.params.weight_lo, 1u);
+  EXPECT_EQ(s.params.weight_hi, 1u);
+  EXPECT_EQ(s.params.verify, VerifyMode::kEveryStep);
+
+  // A wrapper without parameters is all defaults; the base may itself
+  // contain commas and colons.
+  const ChurnSpec bare = parse_churn_spec("churn:base=grid:w=4,h=4");
+  EXPECT_EQ(bare.base, "grid:w=4,h=4");
+  EXPECT_EQ(bare.params.steps, 1000);
+}
+
+TEST(ChurnSpec, ParsesWeightsVerifyAndVperiod) {
+  const ChurnParams p =
+      parse_churn_params("weights=2-17,verify=sample,vperiod=9,dfrac=0.25");
+  EXPECT_EQ(p.weight_lo, 2u);
+  EXPECT_EQ(p.weight_hi, 17u);
+  EXPECT_EQ(p.verify, VerifyMode::kSampled);
+  EXPECT_EQ(p.verify_period, 9);
+  EXPECT_DOUBLE_EQ(p.delete_frac, 0.25);
+  EXPECT_EQ(parse_churn_params("verify=off").verify, VerifyMode::kOff);
+  EXPECT_EQ(parse_churn_params("").steps, 1000);  // empty list = defaults
+}
+
+TEST(ChurnSpec, DiagnosesMalformedInput) {
+  // Wrapper grammar.
+  EXPECT_THROW(parse_churn_spec("churn:steps=10"), CheckFailure);
+  EXPECT_THROW(parse_churn_spec("churn:base="), CheckFailure);
+  EXPECT_THROW(parse_churn_spec("er:n=10"), CheckFailure);
+  // Parameter vocabulary and values.
+  EXPECT_THROW(parse_churn_params("frobnicate=1"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("steps"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("steps=0"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("rate=0"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("dfrac=1.5"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("checkpoints=0"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("steps=5,checkpoints=6"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("weights=5"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("weights=9-3"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("weights=0-3"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("verify=bogus"), CheckFailure);
+  EXPECT_THROW(parse_churn_params("vperiod=0"), CheckFailure);
+}
+
+TEST(ChurnSpec, RecognizesWrapperSpecs) {
+  EXPECT_TRUE(is_churn_spec("churn:base=er:n=10;steps=5"));
+  EXPECT_TRUE(is_churn_spec("churn"));
+  EXPECT_FALSE(is_churn_spec("er:n=10"));
+  EXPECT_FALSE(is_churn_spec("churner:n=10"));
+}
+
+ChurnParams quick_params() {
+  ChurnParams p;
+  p.steps = 40;
+  p.rate = 0.05;
+  p.delete_frac = 0.5;
+  p.seed = 7;
+  p.checkpoints = 4;
+  p.weight_lo = 1;
+  p.weight_hi = 8;
+  return p;
+}
+
+TEST(RunChurn, IsDeterministic) {
+  const auto sc = scenario::make_scenario("er:n=80,deg=5,seed=3");
+  const ChurnResult a = run_churn(sc.graph, sc.partition.part_of,
+                                  quick_params());
+  const ChurnResult b = run_churn(sc.graph, sc.partition.part_of,
+                                  quick_params());
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i)
+    EXPECT_EQ(a.checkpoints[i], b.checkpoints[i]) << "checkpoint " << i;
+  EXPECT_EQ(a.ops_per_step, b.ops_per_step);
+  EXPECT_EQ(a.skipped_inserts, b.skipped_inserts);
+  EXPECT_EQ(a.skipped_deletes, b.skipped_deletes);
+}
+
+TEST(RunChurn, ChecksOutAcrossFamilies) {
+  // The acceptance loop in miniature: three families through the verified
+  // stream with full per-mutation oracle checks — any incremental bug
+  // throws. (The 1000-step versions are the golden_smoke churn cells.)
+  for (const char* spec : {"er:n=60,deg=5,seed=3", "ktree:n=60,k=3,seed=3",
+                           "ba:n=60,m=3,seed=3"}) {
+    SCOPED_TRACE(spec);
+    const auto sc = scenario::make_scenario(spec);
+    const ChurnResult res =
+        run_churn(sc.graph, sc.partition.part_of, quick_params());
+    ASSERT_EQ(res.checkpoints.size(), 5u);  // step 0 + 4 scheduled
+    EXPECT_EQ(res.checkpoints.front().step, 0);
+    EXPECT_EQ(res.checkpoints.back().step, 40);
+    const ChurnCheckpoint& last = res.checkpoints.back();
+    EXPECT_EQ(last.counters.inserts + last.counters.deletes,
+              40 * res.ops_per_step - res.skipped_inserts -
+                  res.skipped_deletes);
+    // The maintained forest at every checkpoint is consistent with the
+    // component count (n - |MSF| == components, cross-checked internally).
+    for (const ChurnCheckpoint& cp : res.checkpoints)
+      EXPECT_EQ(cp.components, sc.graph.num_nodes() - cp.msf_edges);
+  }
+}
+
+TEST(RunChurn, CheckpointScheduleCoversEndpoints) {
+  const auto sc = scenario::make_scenario("grid:w=6,h=6");
+  ChurnParams p = quick_params();
+  p.steps = 7;
+  p.checkpoints = 3;
+  const ChurnResult res = run_churn(sc.graph, sc.partition.part_of, p);
+  ASSERT_EQ(res.checkpoints.size(), 4u);
+  EXPECT_EQ(res.checkpoints.front().step, 0);
+  EXPECT_EQ(res.checkpoints.back().step, 7);
+  for (std::size_t i = 1; i < res.checkpoints.size(); ++i)
+    EXPECT_LT(res.checkpoints[i - 1].step, res.checkpoints[i].step);
+}
+
+TEST(RunChurn, CountsSkippedMutations) {
+  // All-delete stream on a single-edge graph: one real deletion, the rest
+  // hit an empty graph and are skipped (deterministically counted).
+  Graph tiny(2, {{0, 1, 1}});
+  std::vector<PartId> part_of = {0, 0};
+  ChurnParams p;
+  p.steps = 5;
+  p.rate = 1.0;  // 1 op/step on a 1-edge graph
+  p.delete_frac = 1.0;
+  p.checkpoints = 1;
+  const ChurnResult res = run_churn(tiny, part_of, p);
+  EXPECT_EQ(res.skipped_deletes, 4);
+  EXPECT_EQ(res.checkpoints.back().counters.deletes, 1);
+
+  // All-insert stream on a complete graph: every attempt rejects.
+  Graph triangle(3, {{0, 1, 1}, {0, 2, 1}, {1, 2, 1}});
+  std::vector<PartId> tri_part = {0, 0, 0};
+  p.delete_frac = 0.0;
+  p.rate = 0.4;  // 1 op/step
+  const ChurnResult full = run_churn(triangle, tri_part, p);
+  EXPECT_EQ(full.skipped_inserts, 5);
+}
+
+// ------------------------------------------------------- forest quality --
+
+TEST(ForestQuality, SteinerSubtreesOnAPath) {
+  // Path 0-1-2-3-4, all edges in the forest. Part 0 = {0,4} spans the whole
+  // path (diameter 4); part 1 = {1,3} spans the middle (diameter 2); node 2
+  // is unassigned. The two middle edges carry both subtrees.
+  Graph g(5, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}});
+  const std::vector<PartId> part_of = {0, 1, kNoPart, 1, 0};
+  const std::vector<bool> forest(4, true);
+  const ForestQuality q = forest_part_quality(g, part_of, forest);
+  EXPECT_EQ(q.congestion, 2);
+  EXPECT_EQ(q.dilation, 4);
+  EXPECT_EQ(q.product(), 8);
+}
+
+TEST(ForestQuality, PartStraddlingComponentsSplitsIntoFragments) {
+  // Two components: 0-1 and 2-3-4. Part 0 has members in both; each
+  // fragment spans its own subtree (diameters 1 and 2).
+  Graph g(5, {{0, 1, 1}, {2, 3, 1}, {3, 4, 1}});
+  const std::vector<PartId> part_of = {0, 0, 0, kNoPart, 0};
+  const std::vector<bool> forest(3, true);
+  const ForestQuality q = forest_part_quality(g, part_of, forest);
+  EXPECT_EQ(q.congestion, 1);
+  EXPECT_EQ(q.dilation, 2);
+}
+
+TEST(ForestQuality, SingletonGroupsContributeNothing) {
+  Graph g(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  // Every node its own part: no part has two members anywhere.
+  const std::vector<PartId> part_of = {0, 1, 2, 3};
+  const std::vector<bool> forest(3, true);
+  const ForestQuality q = forest_part_quality(g, part_of, forest);
+  EXPECT_EQ(q.congestion, 0);
+  EXPECT_EQ(q.dilation, 0);
+}
+
+TEST(ForestQuality, DiagnosesCyclicFlags) {
+  Graph g(3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}});
+  const std::vector<PartId> part_of = {0, 0, 0};
+  const std::vector<bool> not_a_forest(3, true);
+  EXPECT_THROW(forest_part_quality(g, part_of, not_a_forest), CheckFailure);
+}
+
+TEST(ForestQuality, BfsForestSpansEveryComponent) {
+  // Disconnected: a 4-cycle plus an isolated edge. The BFS forest has
+  // n - components edges and reproduces the components' connectivity.
+  Graph g(6, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 1}, {4, 5, 1}});
+  const std::vector<bool> forest = bfs_forest_edges(g);
+  std::int64_t flagged = 0;
+  for (const bool f : forest) flagged += f ? 1 : 0;
+  EXPECT_EQ(flagged, 4);  // 6 nodes - 2 components
+  // Feeding the flags back through the quality metric accepts them as a
+  // forest and sees each component's span.
+  const std::vector<PartId> part_of = {0, 0, 0, 0, 1, 1};
+  const ForestQuality q = forest_part_quality(g, part_of, forest);
+  EXPECT_EQ(q.congestion, 1);
+  EXPECT_EQ(q.dilation, 3);  // the cycle's BFS tree is the path 2-1-0-3
+}
+
+}  // namespace
+}  // namespace lcs::dynamic

@@ -1,0 +1,178 @@
+/// Unit and stress tests for the dynamic subsystem: incremental
+/// components/MSF maintenance under churn, mutation diagnostics, and the
+/// verified-mirror harness — including deliberate corruption of the fast
+/// structure to prove the mirror catches it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/verified.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/reference.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lcs::dynamic {
+namespace {
+
+Graph small_weighted(std::uint64_t seed) {
+  return with_random_weights(make_erdos_renyi(40, 0.12, seed), 1, 9, seed + 1);
+}
+
+TEST(DynamicGraph, InitialStateMatchesKruskal) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = small_weighted(seed);
+    DynamicGraph dg(g);
+    const MstResult truth = kruskal_mst(g);
+    EXPECT_EQ(dg.msf_weight(), truth.total_weight) << "seed " << seed;
+    std::vector<std::uint64_t> truth_seqs(truth.edges.begin(),
+                                          truth.edges.end());
+    EXPECT_EQ(dg.msf_seqs(), truth_seqs) << "seed " << seed;
+    EXPECT_EQ(dg.num_components(), dg.msf_components());
+  }
+}
+
+TEST(DynamicGraph, InsertGrowsThenSwaps) {
+  // 0 -1- 1 -4- 2    3 isolated
+  Graph g(4, {{0, 1, 1}, {1, 2, 4}});
+  DynamicGraph dg(g);
+  EXPECT_EQ(dg.num_components(), 2);
+  EXPECT_EQ(dg.msf_weight(), 5u);
+
+  dg.insert_edge(2, 3, 2);  // joins {3}: grow
+  EXPECT_EQ(dg.num_components(), 1);
+  EXPECT_EQ(dg.counters().msf_grows, 1);
+  EXPECT_EQ(dg.msf_weight(), 7u);
+
+  dg.insert_edge(0, 2, 2);  // closes 0-1-2; evicts the weight-4 edge
+  EXPECT_EQ(dg.counters().msf_swaps, 1);
+  EXPECT_EQ(dg.msf_weight(), 5u);
+
+  dg.insert_edge(0, 3, 9);  // cycle, but heavier than everything on it
+  EXPECT_EQ(dg.counters().msf_swaps, 1);
+  EXPECT_EQ(dg.msf_weight(), 5u);
+  EXPECT_EQ(dg.num_edges(), 5);
+}
+
+TEST(DynamicGraph, DeleteReplacesThenSplits) {
+  // Cycle 0-1-2-3-0; the weight-5 edge is the one non-forest edge.
+  Graph g(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 5}});
+  DynamicGraph dg(g);
+  EXPECT_EQ(dg.num_components(), 1);
+  EXPECT_EQ(dg.msf_weight(), 3u);
+
+  dg.delete_edge(0, 1);  // forest edge; cut {0} | {1,2,3} crossed by 0-3
+  EXPECT_EQ(dg.counters().msf_replacements, 1);
+  EXPECT_EQ(dg.counters().msf_splits, 0);
+  EXPECT_EQ(dg.num_components(), 1);
+  EXPECT_EQ(dg.counters().uf_rebuilds, 0);  // connectivity survived
+  EXPECT_EQ(dg.msf_weight(), 7u);
+
+  dg.delete_edge(0, 3);  // now a bridge: the component splits
+  EXPECT_EQ(dg.counters().msf_splits, 1);
+  EXPECT_EQ(dg.num_components(), 2);          // triggers the epoch rebuild
+  EXPECT_EQ(dg.counters().uf_rebuilds, 1);
+  EXPECT_EQ(dg.msf_weight(), 2u);
+
+  dg.delete_edge(1, 2);  // non-forest? no — forest edge, splits again
+  EXPECT_EQ(dg.num_components(), 3);
+  EXPECT_EQ(dg.counters().uf_rebuilds, 2);
+}
+
+TEST(DynamicGraph, DiagnosesBadMutations) {
+  Graph g(3, {{0, 1, 1}});
+  DynamicGraph dg(g);
+  EXPECT_THROW(dg.insert_edge(0, 1, 2), CheckFailure);   // duplicate
+  EXPECT_THROW(dg.insert_edge(1, 0, 2), CheckFailure);   // same, reversed
+  EXPECT_THROW(dg.insert_edge(1, 1, 2), CheckFailure);   // self-loop
+  EXPECT_THROW(dg.insert_edge(0, 3, 2), CheckFailure);   // out of range
+  EXPECT_THROW(dg.insert_edge(-1, 0, 2), CheckFailure);  // out of range
+  EXPECT_THROW(dg.delete_edge(1, 2), CheckFailure);      // nonexistent
+  EXPECT_THROW(dg.delete_edge(0, 3), CheckFailure);      // out of range
+  // Diagnoses did not corrupt anything.
+  EXPECT_EQ(dg.num_edges(), 1);
+  EXPECT_EQ(dg.num_components(), 2);
+}
+
+TEST(DynamicGraph, DeleteThenReinsertIsFresh) {
+  Graph g(2, {{0, 1, 3}});
+  DynamicGraph dg(g);
+  dg.delete_edge(0, 1);
+  EXPECT_EQ(dg.num_components(), 2);
+  dg.insert_edge(0, 1, 7);  // not a duplicate: the old edge is gone
+  EXPECT_EQ(dg.num_components(), 1);
+  EXPECT_EQ(dg.msf_weight(), 7u);
+  // The reinserted edge got a fresh sequence number.
+  EXPECT_EQ(dg.edge_between(0, 1).seq, 1u);
+}
+
+TEST(VerifiedDynamicGraph, StressAgainstOraclesEveryStep) {
+  // Random mutation stream over a small weighted graph, full oracle
+  // comparison after every mutation. Any divergence throws.
+  const Graph g = small_weighted(11);
+  const NodeId n = g.num_nodes();
+  VerifiedDynamicGraph vg(g, VerifyMode::kEveryStep);
+  Rng rng(99);
+  for (int step = 0; step < 400; ++step) {
+    if (rng.next_bool(0.45) && vg.fast().num_edges() > 0) {
+      const auto pick = vg.fast().live_edge(static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(vg.fast().num_edges()))));
+      vg.delete_edge(pick.u, pick.v);
+    } else {
+      const NodeId u =
+          static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const NodeId v =
+          static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (u == v || vg.fast().has_edge(u, v)) continue;
+      vg.insert_edge(u, v, 1 + rng.next_below(9));
+    }
+  }
+  EXPECT_EQ(vg.mutations(), vg.full_verifications() - 1);  // +1 from the ctor
+  vg.full_verify();
+}
+
+TEST(VerifiedDynamicGraph, SampledModeVerifiesOnSchedule) {
+  Graph g(6, {{0, 1, 1}, {1, 2, 1}});
+  VerifiedDynamicGraph vg(g, VerifyMode::kSampled, /*sample_period=*/4);
+  EXPECT_EQ(vg.full_verifications(), 0);
+  vg.insert_edge(2, 3, 1);
+  vg.insert_edge(3, 4, 1);
+  vg.insert_edge(4, 5, 1);
+  EXPECT_EQ(vg.full_verifications(), 0);  // cheap local checks only so far
+  vg.insert_edge(0, 5, 1);                // 4th mutation
+  EXPECT_EQ(vg.full_verifications(), 1);
+  vg.delete_edge(0, 5);
+  EXPECT_EQ(vg.full_verifications(), 1);
+  EXPECT_EQ(vg.mutations(), 5);
+}
+
+TEST(VerifiedDynamicGraph, CatchesCachedWeightCorruption) {
+  VerifiedDynamicGraph vg(small_weighted(5));
+  vg.fast().debug_add_msf_weight(1);  // silent fast-structure rot
+  EXPECT_THROW(vg.full_verify(), CheckFailure);
+}
+
+TEST(VerifiedDynamicGraph, CatchesBypassedMutation) {
+  // Mutating the fast structure behind the harness's back diverges it from
+  // the mirror; the full check pins it down.
+  VerifiedDynamicGraph vg(small_weighted(6));
+  const auto victim = vg.fast().live_edge(0);
+  vg.fast().delete_edge(victim.u, victim.v);
+  EXPECT_THROW(vg.full_verify(), CheckFailure);
+}
+
+TEST(VerifiedDynamicGraph, CheapCheckCatchesBypassEvenWhenSampled) {
+  // In sampled mode the full oracle runs rarely, but the per-mutation local
+  // check (edge counts agree) still fires on the very next mutation.
+  VerifiedDynamicGraph vg(small_weighted(7), VerifyMode::kSampled,
+                          /*sample_period=*/1000000);
+  const auto victim = vg.fast().live_edge(0);
+  vg.fast().delete_edge(victim.u, victim.v);
+  EXPECT_THROW(vg.insert_edge(victim.u, victim.v, 1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace lcs::dynamic

@@ -105,6 +105,37 @@ TEST(BinaryCache, RejectsTruncation) {
   }
 }
 
+TEST(BinaryCache, RejectsTruncationAtEverySection) {
+  // Every strict prefix must be diagnosed, whichever section the EOF lands
+  // in: magic, version, reserved, node count, edge count, or any byte of
+  // the edge payload.
+  std::stringstream buf;
+  write_binary(make_grid(4, 4), buf);
+  const std::string bytes = buf.str();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    EXPECT_THROW(read_binary(truncated), CheckFailure) << "keep=" << keep;
+  }
+  // The full buffer still parses — the loop above really was strict prefixes.
+  std::stringstream whole(bytes);
+  expect_same_graph(make_grid(4, 4), read_binary(whole));
+}
+
+TEST(BinaryCache, TruncationDiagnosisNamesTheEdge) {
+  std::stringstream buf;
+  write_binary(make_path(5), buf);  // 4 edges, 16 bytes each after the header
+  const std::string bytes = buf.str();
+  // EOF mid-way through edge 2's record (header is 28 bytes).
+  std::stringstream truncated(bytes.substr(0, 28 + 2 * 16 + 7));
+  try {
+    read_binary(truncated);
+    FAIL() << "truncated body parsed";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("edge 2 of 4"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(BinaryCache, RejectsOutOfRangeEndpoint) {
   std::stringstream buf;
   write_binary(make_path(3), buf);

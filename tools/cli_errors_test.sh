@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# CLI graceful-degradation gate for lcs_run.
+#
+# Every user-input failure (malformed scenario spec, unknown algorithm, bad
+# sweep range, malformed churn parameters) must:
+#   * exit nonzero (2 for contract-check diagnoses),
+#   * emit one well-formed JSON error object on stdout
+#     ({"error": {"type", "message", "exit_code"}}) so driving tooling always
+#     reads JSON,
+#   * be deterministic: two invocations produce byte-identical stdout.
+#
+# Usage: cli_errors_test.sh /path/to/lcs_run
+set -u
+
+run="${1:?usage: cli_errors_test.sh /path/to/lcs_run}"
+failures=0
+
+# expect_error NAME EXPECTED_RC [args...]
+expect_error() {
+  local name="$1" expected_rc="$2"
+  shift 2
+  local out rc out2 rc2
+  out=$("$run" "$@" 2>/dev/null)
+  rc=$?
+  if [[ "$rc" -ne "$expected_rc" ]]; then
+    echo "FAIL $name: exit code $rc, expected $expected_rc" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ "$out" != '{'* || "$out" != *'"error"'* || "$out" != *'"message"'* ]]; then
+    echo "FAIL $name: stdout is not a JSON error object:" >&2
+    echo "$out" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  # Determinism: the error report is a pure function of the invocation.
+  out2=$("$run" "$@" 2>/dev/null)
+  rc2=$?
+  if [[ "$rc2" -ne "$rc" || "$out2" != "$out" ]]; then
+    echo "FAIL $name: two identical invocations diverged" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   $name"
+}
+
+# The three canonical failure paths, plus churn-specific diagnoses.
+expect_error malformed_spec 2 --algo=components --scenario='er:n=100,deg'
+expect_error unknown_family 2 --algo=components --scenario='frobnicate:n=10'
+expect_error unknown_algo 2 --algo=frobnicate --scenario='er:n=100,deg=4'
+expect_error bad_sweep_range 2 --algo=components --scenario='er:n=100,deg=4' \
+  --sweep='n=10..1'
+expect_error bad_sweep_grammar 2 --algo=components --scenario='er:n=100,deg=4' \
+  --sweep='n=10'
+expect_error churn_unknown_param 2 --algo=churn --scenario='er:n=50,deg=4' \
+  --churn='steps=10,frobnicate=1'
+expect_error churn_bad_wrapper 2 --algo=churn --scenario='churn:steps=10'
+expect_error churn_flag_without_algo 2 --algo=mst --scenario='er:n=50,deg=4' \
+  --churn='steps=10'
+
+# A successful run must NOT contain the error object (guards against the
+# error path leaking into healthy reports).
+out=$("$run" --algo=none --scenario='er:n=50,deg=4' --no-timing 2>/dev/null)
+rc=$?
+if [[ "$rc" -ne 0 || "$out" == *'"error"'* ]]; then
+  echo "FAIL healthy_run: rc=$rc or error object in healthy output" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   healthy_run"
+fi
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "cli_errors_test: $failures failure(s)" >&2
+  exit 1
+fi
+echo "cli_errors_test: all error paths degrade gracefully"

@@ -101,6 +101,58 @@ for i in "${!NAMES[@]}"; do
   done
 done
 
+# Churn cells: the acceptance loop for the dynamic subsystem. Each drives a
+# 1000-step verified insert/delete stream (every mutation checked against
+# the from-scratch components + MSF oracles) over a different family, and
+# --validate adds a distributed-MST engine run over the final snapshot — so
+# the threads 2/4 re-runs exercise the parallel engine path and the whole
+# report must stay bit-identical.
+CHURN_NAMES=()
+CHURN_SPECS=()
+churn_add() { CHURN_NAMES+=("$1"); CHURN_SPECS+=("$2"); }
+churn_add churn_er300 \
+  "churn:base=er:n=300,deg=6,seed=5;steps=1000,rate=0.02,seed=7"
+churn_add churn_ktree300 \
+  "churn:base=ktree:n=300,k=3,seed=8;steps=1000,rate=0.02,dfrac=0.4,seed=7,weights=1-64"
+churn_add churn_ba300 \
+  "churn:base=ba:n=300,m=3,seed=4;steps=1000,rate=0.03,seed=7,verify=sample,vperiod=32"
+
+for i in "${!CHURN_NAMES[@]}"; do
+  name=${CHURN_NAMES[$i]}
+  spec=${CHURN_SPECS[$i]}
+  out="$TMP/$name.churn.json"
+  if ! "$LCS_RUN" --algo=churn --scenario="$spec" --seed=7 \
+      --validate --no-timing --out="$out"; then
+    echo "FAIL: $name exited nonzero (verification or runtime error)" >&2
+    fail=1
+    continue
+  fi
+
+  golden="$GOLDENS/$name.churn.json"
+  if [[ "$UPDATE" == "--update" ]]; then
+    cp "$out" "$golden"
+  elif ! diff -u "$golden" "$out" >&2; then
+    echo "FAIL: $name drifted from the committed golden" >&2
+    echo "      (deliberate change? regenerate: tools/regen_goldens.sh)" >&2
+    fail=1
+  fi
+
+  for threads in 2 4; do
+    tout="$TMP/$name.churn.t$threads.json"
+    if ! "$LCS_RUN" --algo=churn --scenario="$spec" --seed=7 \
+        --validate --no-timing --threads="$threads" --parallel-threshold=0 \
+        --out="$tout"; then
+      echo "FAIL: $name exited nonzero at --threads $threads" >&2
+      fail=1
+      continue
+    fi
+    if ! diff -u "$out" "$tout" >&2; then
+      echo "FAIL: $name not bit-identical at --threads $threads" >&2
+      fail=1
+    fi
+  done
+done
+
 # One --sweep cell: a JSON array of per-point reports, byte-pinned and
 # thread-invariant like every single-run cell.
 SWEEP_ARGS=(--algo=components --scenario="er:n=100,deg=4,seed=5"
@@ -139,4 +191,4 @@ if [[ $fail -ne 0 ]]; then
   echo "golden matrix: FAILED" >&2
   exit 1
 fi
-echo "golden matrix: ${#NAMES[@]} scenarios x ${#ALGOS[@]} algorithms + 1 sweep OK (threads 1/2/4 bit-identical)"
+echo "golden matrix: ${#NAMES[@]} scenarios x ${#ALGOS[@]} algorithms + ${#CHURN_NAMES[@]} churn + 1 sweep OK (threads 1/2/4 bit-identical)"

@@ -5,8 +5,10 @@
 ///     lcs_run --algo=mst --scenario="grid:w=64,h=64,weights=1-100000"
 ///             --threads=4 --seed=7 --validate
 ///
-/// Algorithms: components | mst | mincut | aggregate | shortcut, or `none`
-/// to stop after scenario resolution (generator studies, generation smoke).
+/// Algorithms: components | mst | mincut | aggregate | shortcut, `churn`
+/// (drive the scenario through a verified dynamic edge-churn stream, see
+/// src/dynamic/), or `none` to stop after scenario resolution (generator
+/// studies, generation smoke).
 /// The report carries the scenario parameters, graph metrics, exact round/
 /// message accounting (setup vs algorithm), the engine's charged-round
 /// breakdown, oracle-validation results, and wall time.
@@ -42,6 +44,7 @@
 #include "apps/components.h"
 #include "apps/mincut.h"
 #include "congest/network.h"
+#include "dynamic/churn.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
 #include "graph/reference.h"
@@ -61,6 +64,7 @@ using namespace lcs;
 struct Options {
   std::string algo;
   std::string scenario;
+  std::string churn;            // churn parameters for --algo=churn
   std::string sweep;            // empty = single run
   std::string out_path;         // empty = stdout
   std::string save_graph_path;  // empty = don't save
@@ -76,10 +80,14 @@ struct Options {
 
 constexpr const char* kUsage = R"(usage: lcs_run --algo=ALGO --scenario=SPEC [options]
 
-  --algo=ALGO        components | mst | mincut | aggregate | shortcut,
+  --algo=ALGO        components | mst | mincut | aggregate | shortcut | churn,
                      or none (resolve the scenario, skip the engine)
   --scenario=SPEC    scenario spec, e.g. "grid:w=64,h=64" or "file:road.bin"
-                     (run --list for the full family vocabulary)
+                     (run --list for the full family vocabulary); --algo=churn
+                     also accepts the "churn:base=SPEC;params" wrapper
+  --churn=PARAMS     churn stream parameters for --algo=churn with a plain
+                     base --scenario, e.g. "steps=1000,rate=0.02,seed=7"
+                     (see src/dynamic/churn.h for the vocabulary)
   --sweep=RANGE      key=lo..hi[:steps|xfactor] — run once per point with
                      the scenario's `key` parameter overridden, emitting one
                      JSON array of reports. lo/hi take k/M/G suffixes;
@@ -127,6 +135,7 @@ Options parse_args(int argc, char** argv) {
     std::string v;
     if (take_value(arg, "--algo", o.algo)) continue;
     if (take_value(arg, "--scenario", o.scenario)) continue;
+    if (take_value(arg, "--churn", o.churn)) continue;
     if (take_value(arg, "--sweep", o.sweep)) continue;
     if (take_value(arg, "--out", o.out_path)) continue;
     if (take_value(arg, "--save-graph", o.save_graph_path)) continue;
@@ -404,6 +413,205 @@ RunReport run_shortcut(congest::Network& net, const SpanningTree& tree,
   return rep;
 }
 
+// ------------------------------------------------------------------ churn --
+
+const char* verify_mode_name(dynamic::VerifyMode mode) {
+  switch (mode) {
+    case dynamic::VerifyMode::kEveryStep: return "step";
+    case dynamic::VerifyMode::kSampled: return "sample";
+    case dynamic::VerifyMode::kOff: return "off";
+  }
+  return "?";
+}
+
+void emit_quality(JsonWriter& w, const ForestQuality& q) {
+  w.kv("congestion", q.congestion);
+  w.kv("dilation", q.dilation);
+  w.kv("product", q.product());
+}
+
+/// `--algo=churn`: resolve the base scenario, drive it through the verified
+/// churn stream, and emit one report object with a per-checkpoint array.
+/// The churn run itself is centralized (thread-invariant by construction);
+/// under --validate the final snapshot is additionally solved by the
+/// distributed engine (at --threads) and cross-checked against the
+/// incrementally maintained forest, so the threads-1/2/4 golden gate
+/// exercises a real engine run too.
+int run_churn_cell(const Options& o, JsonWriter& w) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // The wrapper spec and the --churn flag are two spellings of the same
+  // thing; accept either, not both.
+  dynamic::ChurnSpec churn;
+  if (dynamic::is_churn_spec(o.scenario)) {
+    LCS_CHECK(o.churn.empty(),
+              "--churn and a churn: scenario wrapper are exclusive; put the "
+              "parameters in one place");
+    churn = dynamic::parse_churn_spec(o.scenario);
+  } else {
+    churn.base = o.scenario;
+    if (!o.churn.empty()) churn.params = dynamic::parse_churn_params(o.churn);
+  }
+  scenario::Scenario sc = scenario::make_scenario(churn.base);
+  if (!o.save_graph_path.empty()) save_binary(sc.graph, o.save_graph_path);
+
+  const dynamic::ChurnResult res =
+      dynamic::run_churn(sc.graph, sc.partition.part_of, churn.params);
+
+  // Engine cross-check: the distributed MST over the final snapshot must
+  // reproduce the maintained forest (weight and exact edge set, matched by
+  // sequence number through the snapshot's edge-id order).
+  bool validated = false;
+  bool ok = true;
+  std::function<void(JsonWriter&)> validation;
+  int engine_threads = -1;
+  if (o.validate) {
+    validated = true;
+    const dynamic::DynamicGraph::Snapshot& snap = *res.final_snapshot;
+    if (is_connected(snap.graph)) {
+      congest::Network net(snap.graph);
+      net.set_validate(true);
+      net.set_threads(o.threads);
+      if (o.parallel_threshold >= 0)
+        net.set_parallel_round_threshold(o.parallel_threshold);
+      const SpanningTree tree = build_bfs_tree(net, /*root=*/0);
+      ShortcutMstOptions opts;
+      opts.seed = o.seed;
+      const DistributedMst mst = mst_boruvka_shortcut(net, tree, opts);
+      engine_threads = net.threads();
+
+      std::vector<std::uint64_t> engine_seqs;
+      engine_seqs.reserve(mst.edges.size());
+      for (const EdgeId e : mst.edges)
+        engine_seqs.push_back(snap.seq[static_cast<std::size_t>(e)]);
+      std::sort(engine_seqs.begin(), engine_seqs.end());
+      // Snapshot edges are sorted by seq, so this is already sorted.
+      std::vector<std::uint64_t> maintained_seqs;
+      Weight maintained_weight = 0;
+      for (std::size_t e = 0; e < snap.in_msf.size(); ++e) {
+        if (!snap.in_msf[e]) continue;
+        maintained_seqs.push_back(snap.seq[e]);
+        maintained_weight += snap.graph.edge(static_cast<EdgeId>(e)).w;
+      }
+      ok = mst.total_weight == maintained_weight &&
+           engine_seqs == maintained_seqs;
+      const Weight w_engine = mst.total_weight;
+      const bool c_ok = ok;
+      validation = [w_engine, maintained_weight, c_ok](JsonWriter& w) {
+        w.kv("oracle", "distributed Boruvka MST over the final snapshot");
+        w.kv("oracle_weight", w_engine);
+        w.kv("maintained_weight", maintained_weight);
+        w.kv("edges_match", c_ok);
+      };
+    } else {
+      validation = [](JsonWriter& w) {
+        w.kv("oracle",
+             "skipped (final snapshot disconnected; per-checkpoint "
+             "incremental-vs-oracle checks still ran)");
+      };
+    }
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  w.begin_object();
+  w.kv("schema", std::int64_t{1});
+  w.kv("algorithm", o.algo);
+
+  w.key("scenario").begin_object();
+  w.kv("spec", o.scenario);
+  w.kv("family", "churn");
+  w.key("base").begin_object();
+  w.kv("spec", sc.spec);
+  w.kv("family", sc.family);
+  w.kv("nodes", sc.graph.num_nodes());
+  w.kv("edges", sc.graph.num_edges());
+  w.kv("total_weight", sc.graph.total_weight());
+  w.kv("parts", sc.partition.num_parts);
+  if (o.metrics) {
+    w.kv("diameter_lb", diameter_double_sweep(sc.graph));
+    w.kv("max_part_diameter", max_part_diameter(sc.graph, sc.partition));
+  }
+  w.end_object();
+  w.end_object();
+
+  w.key("config").begin_object();
+  w.kv("seed", o.seed);
+  w.kv("validate", o.validate);
+  w.end_object();
+
+  const dynamic::ChurnParams& p = churn.params;
+  w.key("churn").begin_object();
+  w.kv("steps", p.steps);
+  w.kv("rate", p.rate);
+  w.kv("dfrac", p.delete_frac);
+  w.kv("seed", p.seed);
+  w.kv("weight_lo", p.weight_lo);
+  w.kv("weight_hi", p.weight_hi);
+  w.kv("verify", verify_mode_name(p.verify));
+  if (p.verify == dynamic::VerifyMode::kSampled)
+    w.kv("vperiod", p.verify_period);
+  w.kv("ops_per_step", res.ops_per_step);
+  w.kv("skipped_inserts", res.skipped_inserts);
+  w.kv("skipped_deletes", res.skipped_deletes);
+  w.end_object();
+
+  w.key("checkpoints").begin_array();
+  for (const dynamic::ChurnCheckpoint& cp : res.checkpoints) {
+    w.begin_object();
+    w.kv("step", cp.step);
+    w.kv("edges", cp.edges);
+    w.kv("components", cp.components);
+    w.kv("msf_weight", cp.msf_weight);
+    w.kv("msf_edges", cp.msf_edges);
+    w.key("quality").begin_object();
+    w.key("maintained").begin_object();
+    emit_quality(w, cp.maintained);
+    w.end_object();
+    w.key("fresh").begin_object();
+    emit_quality(w, cp.fresh);
+    w.end_object();
+    w.end_object();
+    w.key("counters").begin_object();
+    w.kv("inserts", cp.counters.inserts);
+    w.kv("deletes", cp.counters.deletes);
+    w.kv("msf_grows", cp.counters.msf_grows);
+    w.kv("msf_swaps", cp.counters.msf_swaps);
+    w.kv("msf_replacements", cp.counters.msf_replacements);
+    w.kv("msf_splits", cp.counters.msf_splits);
+    w.kv("uf_rebuilds", cp.counters.uf_rebuilds);
+    w.kv("uf_unions", cp.counters.uf_unions);
+    w.end_object();
+    w.kv("full_verifications", cp.full_verifications);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("validation").begin_object();
+  w.kv("checked", validated);
+  if (validated) {
+    w.kv("ok", ok);
+    if (validation) validation(w);
+  }
+  w.end_object();
+
+  if (o.timing) {
+    w.key("timing").begin_object();
+    if (engine_threads >= 0) w.kv("threads", engine_threads);
+    w.kv("wall_ms", wall_ms);
+    w.end_object();
+  }
+  w.end_object();
+
+  if (validated && !ok) {
+    std::cerr << "lcs_run: VALIDATION FAILED for --algo=churn --scenario="
+              << o.scenario << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 // ------------------------------------------------------------------ sweep --
 
 /// One `--sweep key=lo..hi[:steps|xfactor]` directive, expanded to the
@@ -542,6 +750,8 @@ std::string spec_with_param(const std::string& spec, const std::string& key,
 /// Runs one (algo, scenario) cell and emits its report object into `w`.
 /// Returns 0, or 1 when --validate found a mismatch.
 int run_one(const Options& o, JsonWriter& w) {
+  if (o.algo == "churn") return run_churn_cell(o, w);
+
   const auto t0 = std::chrono::steady_clock::now();
   scenario::Scenario sc = scenario::make_scenario(o.scenario);
   if (!o.save_graph_path.empty()) save_binary(sc.graph, o.save_graph_path);
@@ -649,6 +859,13 @@ int run(const Options& o) {
   LCS_CHECK(o.sweep.empty() || o.save_graph_path.empty(),
             "--save-graph with --sweep would overwrite the same path at "
             "every point; save single runs instead");
+  LCS_CHECK(o.churn.empty() || o.algo == "churn",
+            "--churn only applies to --algo=churn");
+  LCS_CHECK(o.algo == "churn" || !dynamic::is_churn_spec(o.scenario),
+            "a churn: scenario wrapper requires --algo=churn");
+  LCS_CHECK(o.sweep.empty() || !dynamic::is_churn_spec(o.scenario),
+            "--sweep cannot rewrite a churn: wrapper spec; pass the base "
+            "spec via --scenario and the churn parameters via --churn");
 
   // Buffer the whole document and write it only once it is complete: a
   // failing run (bad spec, mid-sweep CheckFailure) must neither truncate a
@@ -686,6 +903,27 @@ int run(const Options& o) {
   return rc;
 }
 
+/// Graceful CLI degradation: any CheckFailure or exception escaping `run`
+/// (malformed spec, unknown algo, bad sweep range, unreadable file, a failed
+/// churn verification...) becomes a deterministic JSON error object on
+/// stdout — tooling that drives lcs_run always reads well-formed JSON — plus
+/// a human-readable echo on stderr and a nonzero exit.
+int report_error(const char* type, const std::exception& e, int rc) {
+  std::ostringstream buffer;
+  JsonWriter w(buffer);
+  w.begin_object();
+  w.key("error").begin_object();
+  w.kv("type", type);
+  w.kv("message", e.what());
+  w.kv("exit_code", static_cast<std::int64_t>(rc));
+  w.end_object();
+  w.end_object();
+  w.finish();
+  std::cout << buffer.str();
+  std::cerr << "lcs_run: " << e.what() << "\n";
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -697,10 +935,8 @@ int main(int argc, char** argv) {
   try {
     return run(o);
   } catch (const CheckFailure& e) {
-    std::cerr << "lcs_run: " << e.what() << "\n";
-    return 2;
+    return report_error("check_failure", e, 2);
   } catch (const std::exception& e) {
-    std::cerr << "lcs_run: " << e.what() << "\n";
-    return 3;
+    return report_error("exception", e, 3);
   }
 }
