@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -13,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -91,6 +96,52 @@ bool get_u64(std::istream& in, std::uint64_t& v) {
 }
 
 constexpr char kMagic[4] = {'L', 'C', 'S', 'G'};
+
+/// Hard caps on the section block, so a corrupt count is diagnosed instead
+/// of driving a near-infinite read loop or a huge allocation.
+constexpr std::uint32_t kMaxSections = 4096;
+constexpr std::uint64_t kMaxSectionBytes = std::uint64_t{1} << 33;
+
+/// Crash-injection modes for the atomic-save regression test
+/// (tools/atomic_save_test.sh): `LCS_IO_CRASH=mid-write` kills the process
+/// with a half-written temp file (a torn write), `before-rename` with a
+/// complete temp file that was never renamed. Both must leave the final
+/// path untouched.
+int crash_mode() {
+  const char* v = std::getenv("LCS_IO_CRASH");
+  if (v == nullptr) return 0;
+  if (std::strcmp(v, "mid-write") == 0) return 1;
+  if (std::strcmp(v, "before-rename") == 0) return 2;
+  return 0;
+}
+
+/// Write via `<path>.tmp` + atomic rename, so the final path only ever
+/// holds a complete payload (see the io.h "Atomic writes" doc).
+void save_stream_atomic(const std::string& path,
+                        const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    LCS_CHECK(out.is_open(), "cannot open '" + tmp + "' for writing");
+    writer(out);
+    out.flush();
+    LCS_CHECK(out.good(), "write error while saving '" + tmp + "'");
+  }
+  switch (crash_mode()) {
+    case 1: {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(tmp, ec);
+      if (!ec) std::filesystem::resize_file(tmp, size / 2, ec);
+      std::_Exit(41);
+    }
+    case 2:
+      std::_Exit(42);
+    default:
+      break;
+  }
+  LCS_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "cannot rename '" + tmp + "' onto '" + path + "'");
+}
 
 std::ifstream open_input(const std::string& path, std::ios::openmode mode) {
   std::ifstream in(path, mode);
@@ -219,7 +270,17 @@ Graph load_dimacs(const std::string& path) {
   return read_dimacs(in);
 }
 
-void write_binary(const Graph& g, std::ostream& out) {
+const BundleSection* GraphBundle::find(std::uint32_t tag) const {
+  for (const BundleSection& s : sections)
+    if (s.tag == tag) return &s;
+  return nullptr;
+}
+
+void write_binary_bundle(const Graph& g,
+                         const std::vector<BundleSection>& sections,
+                         std::ostream& out) {
+  LCS_CHECK(sections.size() <= kMaxSections,
+            "binary graph bundle has too many sections");
   out.write(kMagic, 4);
   put_u32(out, kBinaryGraphVersion);
   put_u32(out, 0);  // reserved
@@ -231,24 +292,49 @@ void write_binary(const Graph& g, std::ostream& out) {
     put_u32(out, static_cast<std::uint32_t>(ed.v));
     put_u64(out, ed.w);
   }
+  put_u32(out, static_cast<std::uint32_t>(sections.size()));
+  for (const BundleSection& s : sections) {
+    LCS_CHECK(s.bytes.size() <= kMaxSectionBytes,
+              "binary graph bundle section too large");
+    put_u32(out, s.tag);
+    put_u64(out, s.bytes.size());
+    out.write(s.bytes.data(), static_cast<std::streamsize>(s.bytes.size()));
+  }
   LCS_CHECK(out.good(), "write error while saving binary graph");
 }
 
-void save_binary(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  LCS_CHECK(out.is_open(), "cannot open '" + path + "' for writing");
-  write_binary(g, out);
+void write_binary(const Graph& g, std::ostream& out) {
+  write_binary_bundle(g, {}, out);
 }
 
-Graph read_binary(std::istream& in) {
+void save_binary_bundle(const Graph& g,
+                        const std::vector<BundleSection>& sections,
+                        const std::string& path) {
+  save_stream_atomic(
+      path, [&](std::ostream& out) { write_binary_bundle(g, sections, out); });
+}
+
+void save_binary(const Graph& g, const std::string& path) {
+  save_binary_bundle(g, {}, path);
+}
+
+void save_bytes_atomic(const std::string& bytes, const std::string& path) {
+  save_stream_atomic(path, [&](std::ostream& out) {
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  });
+}
+
+GraphBundle read_binary_bundle(std::istream& in) {
   char magic[4];
   LCS_CHECK(static_cast<bool>(in.read(magic, 4)) &&
                 std::memcmp(magic, kMagic, 4) == 0,
             "not an LCS binary graph (bad magic)");
   std::uint32_t version = 0, reserved = 0;
   LCS_CHECK(get_u32(in, version), "binary graph truncated in header");
-  LCS_CHECK(version == kBinaryGraphVersion,
-            "unsupported binary graph version " + std::to_string(version));
+  LCS_CHECK(version >= 1 && version <= kBinaryGraphVersion,
+            "unsupported binary graph version " + std::to_string(version) +
+                " (this build reads versions 1.." +
+                std::to_string(kBinaryGraphVersion) + ")");
   LCS_CHECK(get_u32(in, reserved) && reserved == 0,
             "binary graph header has nonzero reserved field");
   std::uint64_t n64 = 0, m64 = 0;
@@ -276,12 +362,102 @@ Graph read_binary(std::istream& in) {
                   " endpoint out of range");
     edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
   }
-  return Graph(static_cast<NodeId>(n64), std::move(edges));
+
+  GraphBundle bundle{Graph(static_cast<NodeId>(n64), std::move(edges)), {}};
+  if (version < 2) return bundle;  // v1 files end after the edge payload
+
+  std::uint32_t count = 0;
+  LCS_CHECK(get_u32(in, count), "binary graph truncated in section count");
+  LCS_CHECK(count <= kMaxSections,
+            "binary graph section count out of range (" +
+                std::to_string(count) + ")");
+  bundle.sections.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BundleSection s;
+    std::uint64_t len = 0;
+    LCS_CHECK(get_u32(in, s.tag) && get_u64(in, len),
+              "binary graph truncated in section " + std::to_string(i) +
+                  " header");
+    LCS_CHECK(len <= kMaxSectionBytes,
+              "binary graph section " + std::to_string(i) +
+                  " length out of range");
+    s.bytes.resize(static_cast<std::size_t>(len));
+    LCS_CHECK(len == 0 ||
+                  static_cast<bool>(in.read(
+                      s.bytes.data(), static_cast<std::streamsize>(len))),
+              "binary graph truncated in section " + std::to_string(i) +
+                  " payload (" + std::to_string(len) +
+                  " bytes declared in the header)");
+    bundle.sections.push_back(std::move(s));
+  }
+  return bundle;
+}
+
+Graph read_binary(std::istream& in) {
+  return std::move(read_binary_bundle(in).graph);
 }
 
 Graph load_binary(const std::string& path) {
   auto in = open_input(path, std::ios::in | std::ios::binary);
   return read_binary(in);
+}
+
+GraphBundle load_binary_bundle(const std::string& path) {
+  auto in = open_input(path, std::ios::in | std::ios::binary);
+  return read_binary_bundle(in);
+}
+
+std::string encode_partition(const Partition& p) {
+  ByteWriter w;
+  w.put_u32(1);  // partition codec version
+  w.put_i64(p.num_parts);
+  w.put_u64(p.part_of.size());
+  for (const PartId id : p.part_of) w.put_i32(id);
+  return w.take();
+}
+
+Partition decode_partition(std::string_view bytes, NodeId num_nodes) {
+  ByteReader r(bytes, "partition section");
+  const std::uint32_t version = r.get_u32("codec version");
+  LCS_CHECK(version == 1,
+            "unsupported partition section version " + std::to_string(version));
+  Partition p;
+  p.num_parts = static_cast<PartId>(r.get_i64("part count"));
+  LCS_CHECK(p.num_parts >= 0, "partition section has negative part count");
+  const std::uint64_t n = r.get_u64("node count");
+  LCS_CHECK(n == static_cast<std::uint64_t>(num_nodes),
+            "partition section is for " + std::to_string(n) +
+                " nodes, graph has " + std::to_string(num_nodes));
+  p.part_of.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const PartId id = r.get_i32("part assignment");
+    LCS_CHECK(id == kNoPart || (id >= 0 && id < p.num_parts),
+              "partition section assignment out of range at node " +
+                  std::to_string(v));
+    p.part_of.push_back(id);
+  }
+  r.expect_done();
+  return p;
+}
+
+std::string encode_bundle_meta(const BundleMeta& meta) {
+  ByteWriter w;
+  w.put_u32(1);  // meta codec version
+  w.put_string(meta.spec);
+  w.put_string(meta.family);
+  return w.take();
+}
+
+BundleMeta decode_bundle_meta(std::string_view bytes) {
+  ByteReader r(bytes, "meta section");
+  const std::uint32_t version = r.get_u32("codec version");
+  LCS_CHECK(version == 1,
+            "unsupported meta section version " + std::to_string(version));
+  BundleMeta meta;
+  meta.spec = std::string(r.get_string("spec"));
+  meta.family = std::string(r.get_string("family"));
+  r.expect_done();
+  return meta;
 }
 
 Graph load_graph(const std::string& path) {

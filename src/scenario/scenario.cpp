@@ -111,6 +111,24 @@ void SpecArgs::check_all_consumed() const {
                                 "' for scenario family '" + family_ + "'");
 }
 
+void SpecArgs::check_all_consumed(
+    const std::vector<std::string>& known_keys) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (consumed_[i]) continue;
+    std::string msg = "unknown parameter '" + params_[i].first +
+                      "' for scenario family '" + family_ + "'";
+    if (!known_keys.empty()) {
+      msg += " (accepted: ";
+      for (std::size_t k = 0; k < known_keys.size(); ++k) {
+        if (k > 0) msg += ", ";
+        msg += known_keys[k];
+      }
+      msg += ")";
+    }
+    LCS_CHECK(false, msg);
+  }
+}
+
 SpecArgs parse_spec(std::string_view spec) {
   LCS_CHECK(!spec.empty(), "empty scenario spec");
   const auto colon = spec.find(':');
@@ -159,7 +177,8 @@ std::vector<Family> make_builtin_families() {
                       r.partition = make_grid_rows_partition(
                           w, h, as_node(a.require_int("rows"), "rows"));
                     return r;
-                  }});
+                  },
+                  {"w", "h", "rows"}});
 
   fams.push_back({"torus", "w=16,h=w",
                   "w x h torus (genus 1)",
@@ -167,7 +186,8 @@ std::vector<Family> make_builtin_families() {
                     const NodeId w = as_node(a.get_int("w", 16), "w");
                     const NodeId h = as_node(a.get_int("h", w), "h");
                     return FamilyResult{make_torus(w, h), std::nullopt};
-                  }});
+                  },
+                  {"w", "h"}});
 
   fams.push_back({"genus", "w=24,h=w,g=8,seed=1",
                   "grid plus g random chords (orientable genus <= g)",
@@ -178,7 +198,8 @@ std::vector<Family> make_builtin_families() {
                     return FamilyResult{
                         make_genus_grid(w, h, g, a.get_uint("seed", 1)),
                         std::nullopt};
-                  }});
+                  },
+                  {"w", "h", "g", "seed"}});
 
   fams.push_back({"path", "n=1024",
                   "simple path (extreme high diameter)",
@@ -186,7 +207,8 @@ std::vector<Family> make_builtin_families() {
                     return FamilyResult{
                         make_path(as_node(a.get_int("n", 1024), "n")),
                         std::nullopt};
-                  }});
+                  },
+                  {"n"}});
 
   fams.push_back({"cycle", "n=1024",
                   "simple cycle",
@@ -194,7 +216,8 @@ std::vector<Family> make_builtin_families() {
                     return FamilyResult{
                         make_cycle(as_node(a.get_int("n", 1024), "n")),
                         std::nullopt};
-                  }});
+                  },
+                  {"n"}});
 
   fams.push_back({"tree", "n=1024,seed=1",
                   "uniform random attachment tree",
@@ -203,7 +226,8 @@ std::vector<Family> make_builtin_families() {
                         make_random_tree(as_node(a.get_int("n", 1024), "n"),
                                          a.get_uint("seed", 1)),
                         std::nullopt};
-                  }});
+                  },
+                  {"n", "seed"}});
 
   fams.push_back({"maze", "w=32,h=w,keep=0.3,seed=1",
                   "random planar maze: grid spanning tree + keep fraction",
@@ -214,7 +238,8 @@ std::vector<Family> make_builtin_families() {
                         make_random_maze(w, h, a.get_double("keep", 0.3),
                                          a.get_uint("seed", 1)),
                         std::nullopt};
-                  }});
+                  },
+                  {"w", "h", "keep", "seed"}});
 
   fams.push_back({"er", "n=1024,deg=6|p=...,seed=1",
                   "connected Erdos-Renyi; p= explicit or deg= average degree",
@@ -228,7 +253,8 @@ std::vector<Family> make_builtin_families() {
                         make_erdos_renyi(n, std::min(p, 1.0),
                                          a.get_uint("seed", 1)),
                         std::nullopt};
-                  }});
+                  },
+                  {"n", "p", "deg", "seed"}});
 
   fams.push_back({"wheel", "n=513,arcs=8",
                   "cycle + hub (D = 2); parts = rim arcs, hub unassigned",
@@ -238,7 +264,8 @@ std::vector<Family> make_builtin_families() {
                         static_cast<PartId>(as_node(a.get_int("arcs", 8), "arcs"));
                     return FamilyResult{make_wheel(n),
                                         make_cycle_arcs_partition(n, arcs)};
-                  }});
+                  },
+                  {"n", "arcs"}});
 
   fams.push_back({"lb", "paths=16,len=paths",
                   "Peleg-Rubinovich lower-bound graph; parts = the paths",
@@ -249,7 +276,8 @@ std::vector<Family> make_builtin_families() {
                     Partition p =
                         make_lower_bound_partition(paths, len, g.num_nodes());
                     return FamilyResult{std::move(g), std::move(p)};
-                  }});
+                  },
+                  {"paths", "len"}});
 
   fams.push_back({"rmat", "scale=10,deg=8|m=...,a=0.57,b=0.19,c=0.19,seed=1",
                   "R-MAT on 2^scale nodes: skewed power-law-like degrees",
@@ -271,7 +299,8 @@ std::vector<Family> make_builtin_families() {
                                   a.get_double("a", 0.57), a.get_double("b", 0.19),
                                   a.get_double("c", 0.19), a.get_uint("seed", 1)),
                         std::nullopt};
-                  }});
+                  },
+                  {"scale", "deg", "m", "a", "b", "c", "seed"}});
 
   fams.push_back({"ba", "n=1024,m=3,seed=1",
                   "Barabasi-Albert preferential attachment (power-law hubs)",
@@ -281,7 +310,8 @@ std::vector<Family> make_builtin_families() {
                     return FamilyResult{
                         make_barabasi_albert(n, m, a.get_uint("seed", 1)),
                         std::nullopt};
-                  }});
+                  },
+                  {"n", "m", "seed"}});
 
   fams.push_back({"rreg", "n=1024,d=4,seed=1",
                   "random d-regular expander (easy-shortcut control)",
@@ -291,7 +321,8 @@ std::vector<Family> make_builtin_families() {
                     return FamilyResult{
                         make_random_regular(n, d, a.get_uint("seed", 1)),
                         std::nullopt};
-                  }});
+                  },
+                  {"n", "d", "seed"}});
 
   fams.push_back({"ktree", "n=1024,k=3,seed=1",
                   "random k-tree: treewidth exactly k",
@@ -300,7 +331,8 @@ std::vector<Family> make_builtin_families() {
                     const NodeId k = as_node(a.get_int("k", 3), "k");
                     return FamilyResult{make_ktree(n, k, a.get_uint("seed", 1)),
                                         std::nullopt};
-                  }});
+                  },
+                  {"n", "k", "seed"}});
 
   fams.push_back({"file", "<path>[,...]  (.bin/.lcsg, .dimacs/.gr/.col, else edge list)",
                   "load a corpus graph; must be connected",
@@ -315,7 +347,8 @@ std::vector<Family> make_builtin_families() {
                                   "' is not connected; scenarios require "
                                   "connected topologies");
                     return FamilyResult{std::move(g), std::nullopt};
-                  }});
+                  },
+                  {"path"}});
 
   return fams;
 }
@@ -338,12 +371,30 @@ void register_family(Family family) {
 
 const std::vector<Family>& families() { return registry(); }
 
+const Family* find_family(std::string_view name) {
+  for (const Family& f : registry())
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const std::vector<std::string>& common_param_keys() {
+  static const std::vector<std::string> keys = {"parts", "pseed", "weights",
+                                                "wseed"};
+  return keys;
+}
+
+std::vector<std::string> accepted_param_keys(const Family& family) {
+  if (family.param_keys.empty()) return {};
+  std::vector<std::string> keys = family.param_keys;
+  keys.insert(keys.end(), common_param_keys().begin(),
+              common_param_keys().end());
+  return keys;
+}
+
 Scenario make_scenario(std::string_view spec) {
   SpecArgs args = parse_spec(spec);
 
-  const Family* family = nullptr;
-  for (const Family& f : registry())
-    if (f.name == args.family()) family = &f;
+  const Family* family = find_family(args.family());
   LCS_CHECK(family != nullptr,
             "unknown scenario family '" + args.family() +
                 "' (run lcs_run --list for the registered families)");
@@ -380,7 +431,7 @@ Scenario make_scenario(std::string_view spec) {
         args.get_uint("pseed", 1));
   }
 
-  args.check_all_consumed();
+  args.check_all_consumed(accepted_param_keys(*family));
   return Scenario{std::move(built.graph), std::move(partition),
                   args.family(), std::string(spec)};
 }

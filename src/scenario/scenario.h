@@ -85,8 +85,10 @@ class SpecArgs {
   std::string get_string(std::string_view key, std::string_view fallback);
 
   /// Throws unless every parameter was consumed by some accessor — a typo
-  /// in a spec never silently falls back to a default.
+  /// in a spec never silently falls back to a default. The overload taking
+  /// `known_keys` appends the accepted keys to the diagnosis.
   void check_all_consumed() const;
+  void check_all_consumed(const std::vector<std::string>& known_keys) const;
 
  private:
   const std::string* find(std::string_view key);
@@ -110,6 +112,12 @@ struct Family {
   std::string params_help;  ///< e.g. "w=32,h=w" — defaults shown inline
   std::string summary;      ///< one-line description for --list
   std::function<FamilyResult(SpecArgs&)> build;
+  /// Machine-readable accepted keys, excluding the common keys every family
+  /// takes (see `common_param_keys`). Drivers consult this to reject a
+  /// `--sweep` over a key the family would never read *before* expanding the
+  /// sweep. Externally registered families may leave it empty, which means
+  /// "not declared" — key checks are then skipped, not failed.
+  std::vector<std::string> param_keys;
 };
 
 /// Register an additional family (e.g. from an experiment binary). The
@@ -118,6 +126,17 @@ void register_family(Family family);
 
 /// All registered families (built-ins first), for help output.
 const std::vector<Family>& families();
+
+/// Registered family by name, or nullptr.
+const Family* find_family(std::string_view name);
+
+/// Keys the registry handles for every family (partition and weight
+/// overrides): parts, pseed, weights, wseed.
+const std::vector<std::string>& common_param_keys();
+
+/// Every key `family` accepts: its own `param_keys` plus the common keys.
+/// Empty when the family did not declare its keys (see Family::param_keys).
+std::vector<std::string> accepted_param_keys(const Family& family);
 
 /// Parse without building: returns (family, params) or throws CheckFailure
 /// with a grammar diagnosis.

@@ -1,0 +1,177 @@
+#include "serve/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <utility>
+
+#include "graph/io.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace lcs::serve {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- ScenarioCache --
+
+ScenarioCache::ScenarioCache(std::string cache_dir)
+    : dir_(std::move(cache_dir)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+std::string ScenarioCache::path_for(const std::string& spec) const {
+  return dir_ + "/scenario-" + hex16(driver::spec_hash(spec)) + ".lcsg";
+}
+
+std::shared_ptr<const scenario::Scenario> ScenarioCache::load_from_disk(
+    const std::string& spec, const std::string& path) {
+  const GraphBundle bundle = load_binary_bundle(path);
+
+  const BundleSection* meta_section = bundle.find(kSectionMeta);
+  LCS_CHECK(meta_section != nullptr,
+            "scenario cache entry '" + path + "' has no META section");
+  const BundleMeta meta = decode_bundle_meta(meta_section->bytes);
+  // The file is named by the spec *hash*; the stored spec string is the
+  // collision / stale-entry guard. A mismatch regenerates, never serves.
+  LCS_CHECK(meta.spec == spec,
+            "scenario cache entry '" + path + "' is for spec '" + meta.spec +
+                "', requested '" + spec + "'");
+
+  const BundleSection* part_section = bundle.find(kSectionPartition);
+  LCS_CHECK(part_section != nullptr,
+            "scenario cache entry '" + path + "' has no PART section");
+
+  Partition partition =
+      decode_partition(part_section->bytes, bundle.graph.num_nodes());
+  return std::make_shared<scenario::Scenario>(scenario::Scenario{
+      bundle.graph, std::move(partition), meta.family, meta.spec});
+}
+
+std::shared_ptr<const scenario::Scenario> ScenarioCache::resolve(
+    const std::string& spec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memo_.find(spec);
+    if (it != memo_.end()) {
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+
+  std::shared_ptr<const scenario::Scenario> sc;
+  const std::string path = dir_.empty() ? std::string() : path_for(spec);
+  if (!path.empty() && std::filesystem::exists(path)) {
+    try {
+      sc = load_from_disk(spec, path);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_loads;
+    } catch (const std::exception& e) {
+      std::cerr << "lcs_serve: discarding scenario cache entry: " << e.what()
+                << "\n";
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_load_failures;
+    }
+  }
+
+  if (!sc) {
+    sc = std::make_shared<const scenario::Scenario>(
+        scenario::make_scenario(spec));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.generated;
+    }
+    if (!path.empty()) {
+      std::vector<BundleSection> sections;
+      sections.push_back({kSectionPartition, encode_partition(sc->partition)});
+      sections.push_back(
+          {kSectionMeta, encode_bundle_meta({sc->spec, sc->family})});
+      save_binary_bundle(sc->graph, sections, path);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // First insert wins so every request shares one canonical object; a
+  // racing duplicate resolution is discarded.
+  const auto [it, inserted] = memo_.emplace(spec, std::move(sc));
+  return it->second;
+}
+
+ScenarioCacheStats ScenarioCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------- ShortcutRecordCache --
+
+ShortcutRecordCache::ShortcutRecordCache(std::string cache_dir)
+    : dir_(std::move(cache_dir)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+std::string ShortcutRecordCache::path_for(
+    const driver::ShortcutCacheKey& key) const {
+  return dir_ + "/shortcut-" + hex16(key.spec_hash) + "-" +
+         hex16(key.partition_hash) + "-" + std::to_string(key.seed) + ".lcss";
+}
+
+std::shared_ptr<const ShortcutRunRecord> ShortcutRecordCache::find(
+    const driver::ShortcutCacheKey& key, const scenario::Scenario& sc) {
+  const auto memo_key = std::make_tuple(key.spec_hash, key.partition_hash,
+                                        key.seed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memo_.find(memo_key);
+    if (it != memo_.end()) {
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+
+  if (dir_.empty()) return nullptr;
+  const std::string path = path_for(key);
+  if (!std::filesystem::exists(path)) return nullptr;
+  std::shared_ptr<const ShortcutRunRecord> record;
+  try {
+    record = std::make_shared<const ShortcutRunRecord>(load_shortcut_record(
+        path, sc.graph, key.spec_hash, key.partition_hash));
+  } catch (const std::exception& e) {
+    std::cerr << "lcs_serve: discarding shortcut cache entry: " << e.what()
+              << "\n";
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_load_failures;
+    return nullptr;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.disk_loads;
+  const auto [it, inserted] = memo_.emplace(memo_key, std::move(record));
+  return it->second;
+}
+
+void ShortcutRecordCache::store(
+    const driver::ShortcutCacheKey& key, const scenario::Scenario& sc,
+    const std::shared_ptr<const ShortcutRunRecord>& record) {
+  (void)sc;
+  if (!dir_.empty()) save_shortcut_record(*record, path_for(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.constructed;
+  memo_.emplace(std::make_tuple(key.spec_hash, key.partition_hash, key.seed),
+                record);
+}
+
+RecordCacheStats ShortcutRecordCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lcs::serve

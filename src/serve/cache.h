@@ -1,0 +1,109 @@
+/// \file cache.h
+/// The daemon's two-level caches: memory memo over a disk layer.
+///
+/// `lcs_serve` loads a corpus once and answers a stream of requests; the
+/// expensive stages of a request are scenario resolution (generators, file
+/// parses, partition construction) and shortcut construction (the engine).
+/// Each gets a cache with the same shape:
+///
+///  * **memory** — a mutex-guarded memo of shared_ptr-to-const results.
+///    Values are immutable after insertion, so concurrent requests share
+///    them without copying; computation happens outside the lock (two
+///    simultaneous misses on one key may both compute — identical results,
+///    last insert discarded — rather than serializing the batch).
+///  * **disk** (optional, `cache_dir`) — one file per key, written through
+///    the atomic temp-file + rename path (io.h "Atomic writes"), so a
+///    crash mid-store never leaves a torn cache entry for the next start.
+///    Scenario entries are v2 graph bundles (`scenario-<spechash>.lcsg`)
+///    carrying the graph plus PART and META sections; shortcut entries are
+///    `.lcss` records (`shortcut-<spechash>-<parthash>-<seed>.lcss`, see
+///    shortcut/persist.h).
+///
+/// Loads verify everything: file-format diagnoses from the codecs, the
+/// META spec string against the requested spec (hash-collision guard), and
+/// record keys against the scenario being served. A failed load is
+/// availability, not an error: a warning goes to stderr, the
+/// `disk_load_failures` counter ticks, and the entry is recomputed and
+/// rewritten — a corrupt cache directory degrades to a cold start.
+///
+/// The counters let tests enforce the warm-start contract mechanically:
+/// after a warm start over a populated cache directory, `generated` and
+/// `constructed` must both be zero — every answer came from I/O.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "driver/run_driver.h"
+#include "scenario/scenario.h"
+#include "shortcut/persist.h"
+
+namespace lcs::serve {
+
+struct ScenarioCacheStats {
+  std::int64_t memory_hits = 0;
+  std::int64_t disk_loads = 0;
+  std::int64_t generated = 0;
+  std::int64_t disk_load_failures = 0;
+};
+
+class ScenarioCache {
+ public:
+  /// `cache_dir` empty = memory-only (no persistence).
+  explicit ScenarioCache(std::string cache_dir);
+
+  /// Resolve `spec`, through the memo, then the disk layer, then the
+  /// scenario registry (which populates both). Shape matches the
+  /// RunHooks::resolve_scenario hook.
+  std::shared_ptr<const scenario::Scenario> resolve(const std::string& spec);
+
+  ScenarioCacheStats stats() const;
+
+ private:
+  std::shared_ptr<const scenario::Scenario> load_from_disk(
+      const std::string& spec, const std::string& path);
+  std::string path_for(const std::string& spec) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const scenario::Scenario>> memo_;
+  ScenarioCacheStats stats_;
+};
+
+struct RecordCacheStats {
+  std::int64_t memory_hits = 0;
+  std::int64_t disk_loads = 0;
+  std::int64_t constructed = 0;  ///< cold constructions (stores)
+  std::int64_t disk_load_failures = 0;
+};
+
+class ShortcutRecordCache {
+ public:
+  explicit ShortcutRecordCache(std::string cache_dir);
+
+  /// Memo, then disk (decoded and key-verified against `sc`), else null —
+  /// the driver then constructs and calls `store`. Shapes match the
+  /// RunHooks find/store hooks.
+  std::shared_ptr<const ShortcutRunRecord> find(
+      const driver::ShortcutCacheKey& key, const scenario::Scenario& sc);
+  void store(const driver::ShortcutCacheKey& key, const scenario::Scenario& sc,
+             const std::shared_ptr<const ShortcutRunRecord>& record);
+
+  RecordCacheStats stats() const;
+
+ private:
+  std::string path_for(const driver::ShortcutCacheKey& key) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           std::shared_ptr<const ShortcutRunRecord>>
+      memo_;
+  RecordCacheStats stats_;
+};
+
+}  // namespace lcs::serve

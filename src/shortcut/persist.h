@@ -1,0 +1,93 @@
+/// \file persist.h
+/// Persistence of constructed shortcut structures — the cache records the
+/// shortcut service (`lcs_serve`) stores so a warm start answers shortcut
+/// requests from pure I/O, with zero engine construction calls.
+///
+/// A `ShortcutRunRecord` is everything the report renderer needs for one
+/// `--algo=shortcut` run on one (scenario, seed):
+///  * the constructed structures — the BFS spanning tree (as parent edges;
+///    the rest is rebuilt deterministically on load) and the T-restricted
+///    shortcut (per-edge part lists) — from which congestion / block /
+///    dilation and the validation section are recomputed, and
+///  * the engine accounting the construction consumed (setup and algorithm
+///    rounds/messages, the charged-round breakdown, FindShortcut stats),
+///    which cannot be recomputed without re-running the engine.
+///
+/// The record is keyed by (spec hash, partition hash, seed); decoding
+/// verifies the keys match the scenario it is being applied to, so a stale
+/// or mismatched cache file is diagnosed, never silently served.
+///
+/// ## File format (`.lcss`)
+///
+///     magic 'LCSS' | u32 version (1)
+///     u64 spec_hash | u64 partition_hash | u64 seed
+///     i32 root | u64 n | n x i32 parent_edge
+///     u64 m | per tree edge with a nonempty part list:
+///         (i32 edge | u32 count | count x i32 part)   -- see encode
+///     stats: i32 iterations | i32 trials | i32 used_c | i32 used_b
+///            | i64 rounds
+///     i64 setup_rounds | i64 setup_messages
+///     i64 algo_rounds | i64 algo_messages
+///     u32 charge_count | charge_count x (string label | i64 rounds)
+///
+/// All fields little-endian via util/bytes.h; truncation and layout drift
+/// are diagnosed field-by-field. Writes go through the same atomic
+/// temp-file + rename path as the graph cache (io.h "Atomic writes").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/shortcut.h"
+#include "tree/spanning_tree.h"
+
+namespace lcs {
+
+inline constexpr std::uint32_t kShortcutRecordVersion = 1;
+
+/// One cached `--algo=shortcut` construction (see file comment).
+struct ShortcutRunRecord {
+  std::uint64_t spec_hash = 0;
+  std::uint64_t partition_hash = 0;
+  std::uint64_t seed = 0;
+
+  SpanningTree tree;
+  Shortcut shortcut;
+  FindShortcutStats stats;
+
+  std::int64_t setup_rounds = 0;
+  std::int64_t setup_messages = 0;
+  std::int64_t algo_rounds = 0;
+  std::int64_t algo_messages = 0;
+  std::vector<std::pair<std::string, std::int64_t>> charges;
+};
+
+/// Rebuild a full SpanningTree from its parent-edge array (parents, depths,
+/// children lists — children sorted by edge id — and the finalize lookups).
+/// Throws CheckFailure unless the edges form a rooted spanning tree of `g`.
+SpanningTree tree_from_parent_edges(const Graph& g, NodeId root,
+                                    std::vector<EdgeId> parent_edge);
+
+std::string encode_shortcut_record(const ShortcutRunRecord& record);
+
+/// Decode against the graph the record was built for; validates every
+/// id against `g` and the key fields against `expect_spec_hash` /
+/// `expect_partition_hash` (pass the hashes of the scenario being served).
+ShortcutRunRecord decode_shortcut_record(std::string_view bytes,
+                                         const Graph& g,
+                                         std::uint64_t expect_spec_hash,
+                                         std::uint64_t expect_partition_hash);
+
+/// Atomic file wrappers (magic + version + encode/decode payload).
+void save_shortcut_record(const ShortcutRunRecord& record,
+                          const std::string& path);
+ShortcutRunRecord load_shortcut_record(const std::string& path, const Graph& g,
+                                       std::uint64_t expect_spec_hash,
+                                       std::uint64_t expect_partition_hash);
+
+}  // namespace lcs

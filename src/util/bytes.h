@@ -1,0 +1,127 @@
+/// \file bytes.h
+/// Bounds-checked little-endian byte codecs for the persistence layer.
+///
+/// `ByteWriter` appends fixed-width little-endian fields (and
+/// length-prefixed strings) to an in-memory buffer; `ByteReader` is the
+/// symmetric strict decoder. Every read is bounds-checked and a failure
+/// throws CheckFailure naming the record being decoded and the field that
+/// ran off the end — the binary-cache rule that hostile or truncated input
+/// is diagnosed, never silently misparsed, applies to every record built
+/// on these (graph bundles, partitions, shortcut records).
+///
+/// Byte order is explicitly little-endian regardless of host, so records
+/// written on any machine decode on any other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace lcs {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  /// u64 byte length followed by the raw bytes.
+  void put_string(std::string_view s) {
+    put_u64(s.size());
+    bytes_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  std::string take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+class ByteReader {
+ public:
+  /// `context` names the record being decoded, for diagnostics
+  /// (e.g. "partition section").
+  ByteReader(std::string_view data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+
+  std::uint8_t get_u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t get_u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t get_i32(const char* what) {
+    return static_cast<std::int32_t>(get_u32(what));
+  }
+  std::int64_t get_i64(const char* what) {
+    return static_cast<std::int64_t>(get_u64(what));
+  }
+
+  std::string_view get_string(const char* what) {
+    const std::uint64_t len = get_u64(what);
+    LCS_CHECK(len <= data_.size() - pos_,
+              context_ + " truncated reading " + what + " (length " +
+                  std::to_string(len) + " exceeds the remaining " +
+                  std::to_string(data_.size() - pos_) + " bytes)");
+    const std::string_view s = data_.substr(pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Strict decoders call this last: trailing bytes mean the record and the
+  /// decoder disagree about the layout — diagnosed, never ignored.
+  void expect_done() const {
+    LCS_CHECK(remaining() == 0,
+              context_ + " has " + std::to_string(remaining()) +
+                  " trailing byte(s) after the last field");
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    LCS_CHECK(n <= data_.size() - pos_,
+              context_ + " truncated reading " + what);
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace lcs

@@ -1,0 +1,32 @@
+/// \file hash.h
+/// FNV-1a 64-bit hashing for cache keys.
+///
+/// The serving path keys its caches by (spec hash, partition hash, seed).
+/// The hash must be stable across processes, platforms, and builds — a
+/// cache written by one daemon run is read by the next — which rules out
+/// std::hash (unspecified, and randomized in some standard libraries).
+/// FNV-1a over the canonical byte encoding is deterministic everywhere and
+/// cheap at the sizes hashed here (spec strings, partition codecs). Keys
+/// are advisory, not authoritative: every cache record also stores what it
+/// was computed from and is verified on load, so a collision is diagnosed,
+/// never silently served.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lcs {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+
+inline std::uint64_t fnv1a64(std::string_view bytes,
+                             std::uint64_t h = kFnv1a64Offset) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace lcs

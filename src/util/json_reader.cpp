@@ -1,0 +1,349 @@
+#include "util/json_reader.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lcs {
+
+const char* JsonValue::type_name() const {
+  switch (type_) {
+    case Type::Null: return "null";
+    case Type::Bool: return "a boolean";
+    case Type::Number: return "a number";
+    case Type::String: return "a string";
+    case Type::Array: return "an array";
+    case Type::Object: return "an object";
+  }
+  return "?";
+}
+
+bool JsonValue::as_bool(const std::string& what) const {
+  LCS_CHECK(type_ == Type::Bool,
+            what + " must be a boolean, got " + type_name());
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int(const std::string& what) const {
+  LCS_CHECK(type_ == Type::Number,
+            what + " must be an integer, got " + type_name());
+  std::int64_t v = 0;
+  const auto res = std::from_chars(scalar_.data(),
+                                   scalar_.data() + scalar_.size(), v);
+  LCS_CHECK(res.ec == std::errc() && res.ptr == scalar_.data() + scalar_.size(),
+            what + " must be an integer in 64-bit range, got '" + scalar_ + "'");
+  return v;
+}
+
+std::uint64_t JsonValue::as_uint(const std::string& what) const {
+  LCS_CHECK(type_ == Type::Number,
+            what + " must be a non-negative integer, got " + type_name());
+  std::uint64_t v = 0;
+  const auto res = std::from_chars(scalar_.data(),
+                                   scalar_.data() + scalar_.size(), v);
+  LCS_CHECK(res.ec == std::errc() && res.ptr == scalar_.data() + scalar_.size(),
+            what + " must be a non-negative integer in 64-bit range, got '" +
+                scalar_ + "'");
+  return v;
+}
+
+double JsonValue::as_double(const std::string& what) const {
+  LCS_CHECK(type_ == Type::Number,
+            what + " must be a number, got " + type_name());
+  double v = 0;
+  const auto res = std::from_chars(scalar_.data(),
+                                   scalar_.data() + scalar_.size(), v);
+  LCS_CHECK(res.ec == std::errc() && res.ptr == scalar_.data() + scalar_.size(),
+            what + " must be a finite number, got '" + scalar_ + "'");
+  return v;
+}
+
+const std::string& JsonValue::as_string(const std::string& what) const {
+  LCS_CHECK(type_ == Type::String,
+            what + " must be a string, got " + type_name());
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array(
+    const std::string& what) const {
+  LCS_CHECK(type_ == Type::Array,
+            what + " must be an array, got " + type_name());
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object(
+    const std::string& what) const {
+  LCS_CHECK(type_ == Type::Object,
+            what + " must be an object, got " + type_name());
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key,
+                                 const std::string& what) const {
+  for (const auto& [k, v] : as_object(what))
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue{}; }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::string raw) {
+  JsonValue v;
+  v.type_ = Type::Number;
+  v.scalar_ = std::move(raw);
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::String;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.type_ = Type::Object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    LCS_CHECK(pos_ == text_.size(),
+              "JSON has trailing content " + where());
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    LCS_CHECK(false, "JSON " + msg + " " + where());
+  }
+
+  std::string where() const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') { ++line; col = 1; } else { ++col; }
+    }
+    return "at line " + std::to_string(line) + ", column " +
+           std::to_string(col);
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  void expect(char c, const char* in_what) {
+    if (done() || peek() != c)
+      fail(std::string("expected '") + c + "' in " + in_what);
+    ++pos_;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nested deeper than 64 levels");
+    if (done()) fail("ended where a value was expected");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string("string"));
+      case 't': parse_literal("true"); return JsonValue::make_bool(true);
+      case 'f': parse_literal("false"); return JsonValue::make_bool(false);
+      case 'n': parse_literal("null"); return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit)
+      fail("has an unrecognized token");
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{', "object");
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (!done() && peek() == '}') { ++pos_; return JsonValue::make_object({}); }
+    while (true) {
+      skip_ws();
+      if (done() || peek() != '"')
+        fail("object key must be a double-quoted string");
+      std::string key = parse_string("object key");
+      for (const auto& [k, v] : members)
+        if (k == key) fail("has duplicate key \"" + key + "\"");
+      skip_ws();
+      expect(':', "object member");
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (done()) fail("object is not closed");
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; break; }
+      fail("expected ',' or '}' in object");
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[', "array");
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!done() && peek() == ']') { ++pos_; return JsonValue::make_array({}); }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (done()) fail("array is not closed");
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; break; }
+      fail("expected ',' or ']' in array");
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string(const char* what) {
+    expect('"', what);
+    std::string out;
+    while (true) {
+      if (done()) fail(std::string(what) + " is not terminated");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail(std::string(what) +
+             " contains an unescaped control character");
+      if (c != '\\') { out.push_back(c); continue; }
+      if (done()) fail(std::string(what) + " ends inside an escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(parse_codepoint(), out); break;
+        default: fail(std::string("has an invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("\\u escape is truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("\\u escape has a non-hex digit");
+    }
+    return v;
+  }
+
+  std::uint32_t parse_codepoint() {
+    const std::uint32_t hi = parse_hex4();
+    if (hi < 0xD800 || hi > 0xDFFF) return hi;
+    if (hi >= 0xDC00) fail("has an unpaired low surrogate");
+    if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+        text_[pos_ + 1] != 'u')
+      fail("has a high surrogate without its pair");
+    pos_ += 2;
+    const std::uint32_t lo = parse_hex4();
+    if (lo < 0xDC00 || lo > 0xDFFF)
+      fail("has a high surrogate without a low surrogate");
+    return 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+  }
+
+  static void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!done() && peek() == '-') ++pos_;
+    const std::size_t digits_start = pos_;
+    while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (pos_ == digits_start) {
+      pos_ = start;
+      fail("has an unrecognized token");
+    }
+    // JSON forbids leading zeros: "0" is fine, "0123" is two tokens.
+    if (pos_ - digits_start > 1 && text_[digits_start] == '0')
+      fail("number has a leading zero");
+    if (!done() && peek() == '.') {
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+      if (pos_ == frac_start) fail("number has a bare decimal point");
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos_;
+      const std::size_t exp_start = pos_;
+      while (!done() && peek() >= '0' && peek() <= '9') ++pos_;
+      if (pos_ == exp_start) fail("number has an empty exponent");
+    }
+    return JsonValue::make_number(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace lcs

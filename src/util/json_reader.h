@@ -1,0 +1,83 @@
+/// \file json_reader.h
+/// A strict JSON parser for the serving path.
+///
+/// `lcs_serve` answers a stream of JSON requests; a malformed or ambiguous
+/// request must produce a deterministic diagnosis naming the offending
+/// construct, never a silent misparse. This parser therefore rejects —
+/// with a line/column-positioned CheckFailure — everything RFC 8259 leaves
+/// to implementations to mishandle:
+///
+///  * duplicate object keys ("duplicate key \"algo\" at line 1, column 40"
+///    — the classic silent-misparse: last-wins parsers make two requests
+///    with contradictory fields look identical),
+///  * trailing content after the document, trailing commas, comments,
+///  * unquoted keys, single quotes, control characters inside strings,
+///  * numbers JSON forbids (leading +, bare ., hex, Inf/NaN).
+///
+/// Escapes `\" \\ \/ \b \f \n \r \t \uXXXX` are decoded (UTF-16 surrogate
+/// pairs included). Numbers keep their raw spelling; typed accessors
+/// convert on demand and diagnose range/format errors against the caller's
+/// field name, so "params.seed must be an integer" failures read like the
+/// scenario-spec diagnoses.
+///
+/// Object member order is preserved (vector of pairs, not a map) — lookups
+/// are linear, which is the right trade for request-sized documents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lcs {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; `what` names the field for the diagnosis (e.g.
+  /// "request field 'id'"). Throws CheckFailure on a type mismatch.
+  bool as_bool(const std::string& what) const;
+  std::int64_t as_int(const std::string& what) const;
+  std::uint64_t as_uint(const std::string& what) const;
+  double as_double(const std::string& what) const;
+  const std::string& as_string(const std::string& what) const;
+  const std::vector<JsonValue>& as_array(const std::string& what) const;
+  const std::vector<std::pair<std::string, JsonValue>>& as_object(
+      const std::string& what) const;
+
+  /// Object member by key, or nullptr. Throws if not an object.
+  const JsonValue* find(std::string_view key, const std::string& what) const;
+
+  /// The raw spelling of a Number (e.g. "2e-4"), for byte-faithful echo.
+  const std::string& raw_number() const { return scalar_; }
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(std::string raw);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  const char* type_name() const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::string scalar_;  ///< String payload, or a Number's raw spelling.
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse exactly one JSON document covering all of `text` (trailing
+/// whitespace allowed, anything else diagnosed). Throws CheckFailure with
+/// a line/column position on any syntax error or duplicate object key.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace lcs

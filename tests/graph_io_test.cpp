@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -145,6 +146,115 @@ TEST(BinaryCache, RejectsOutOfRangeEndpoint) {
   bytes[28] = 100;
   std::stringstream corrupted(bytes);
   EXPECT_THROW(read_binary(corrupted), CheckFailure);
+}
+
+TEST(BinaryCache, BundleSectionsRoundTrip) {
+  const Graph g = make_grid(6, 4);
+  Partition p;
+  p.num_parts = 3;
+  p.part_of.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) p.part_of[v] = v % 3;
+  const BundleMeta meta{"grid:w=6,h=4", "grid"};
+
+  std::stringstream buf;
+  write_binary_bundle(
+      g, {{kSectionPartition, encode_partition(p)},
+          {kSectionMeta, encode_bundle_meta(meta)}},
+      buf);
+  const GraphBundle bundle = read_binary_bundle(buf);
+  expect_same_graph(g, bundle.graph);
+  ASSERT_NE(bundle.find(kSectionPartition), nullptr);
+  ASSERT_NE(bundle.find(kSectionMeta), nullptr);
+  const Partition back =
+      decode_partition(bundle.find(kSectionPartition)->bytes, g.num_nodes());
+  EXPECT_EQ(back.num_parts, p.num_parts);
+  EXPECT_EQ(back.part_of, p.part_of);
+  const BundleMeta meta_back =
+      decode_bundle_meta(bundle.find(kSectionMeta)->bytes);
+  EXPECT_EQ(meta_back.spec, meta.spec);
+  EXPECT_EQ(meta_back.family, meta.family);
+}
+
+TEST(BinaryCache, UnknownSectionTagsAreSkippedNotFatal) {
+  // Forward compatibility within a version: a file written by a newer
+  // build with an extra section still loads; the section is preserved by
+  // the bundle reader and ignored by the graph-only reader.
+  const Graph g = make_path(6);
+  std::stringstream buf;
+  write_binary_bundle(g, {{0x58585858, "opaque-bytes"}}, buf);
+  const std::string bytes = buf.str();
+  {
+    std::stringstream in(bytes);
+    expect_same_graph(g, read_binary(in));
+  }
+  std::stringstream in(bytes);
+  const GraphBundle bundle = read_binary_bundle(in);
+  ASSERT_NE(bundle.find(0x58585858), nullptr);
+  EXPECT_EQ(bundle.find(0x58585858)->bytes, "opaque-bytes");
+}
+
+TEST(BinaryCache, Version1FilesStillLoad) {
+  // A v1 file is exactly a v2 file minus the section block: rewrite the
+  // version field and drop the trailing u32 section_count (0).
+  const Graph g = make_grid(5, 3);
+  std::stringstream buf;
+  write_binary(g, buf);
+  std::string bytes = buf.str();
+  bytes[4] = 1;
+  bytes.resize(bytes.size() - 4);
+  std::stringstream v1(bytes);
+  expect_same_graph(g, read_binary(v1));
+  // And the bundle reader reports no sections for it.
+  std::stringstream v1_again(bytes);
+  EXPECT_TRUE(read_binary_bundle(v1_again).sections.empty());
+}
+
+TEST(BinaryCache, SectionBlockTruncationIsDiagnosed) {
+  const Graph g = make_path(4);
+  std::stringstream buf;
+  write_binary_bundle(g, {{kSectionMeta, encode_bundle_meta({"s", "f"})}},
+                      buf);
+  const std::string bytes = buf.str();
+  // Every strict prefix that cuts into the section block must throw.
+  const std::size_t graph_only = [&] {
+    std::stringstream plain;
+    write_binary_bundle(g, {}, plain);
+    return plain.str().size() - 4;  // minus the empty section count
+  }();
+  for (std::size_t keep = graph_only; keep < bytes.size(); ++keep) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    EXPECT_THROW(read_binary_bundle(truncated), CheckFailure)
+        << "keep=" << keep;
+  }
+}
+
+TEST(BinaryCache, PartitionCodecValidates) {
+  Partition p;
+  p.num_parts = 2;
+  p.part_of = {0, 1, 1, kNoPart};
+  const std::string bytes = encode_partition(p);
+  const Partition back = decode_partition(bytes, 4);
+  EXPECT_EQ(back.num_parts, 2);
+  EXPECT_EQ(back.part_of, p.part_of);
+  // Node-count mismatch (stale cache for a different graph) is diagnosed.
+  EXPECT_THROW(decode_partition(bytes, 5), CheckFailure);
+  // Truncation is diagnosed.
+  EXPECT_THROW(decode_partition(std::string_view(bytes).substr(
+                   0, bytes.size() - 2), 4),
+               CheckFailure);
+}
+
+TEST(BinaryCache, AtomicSaveLeavesNoTempFileBehind) {
+  const std::string path = testing::TempDir() + "lcs_io_atomic.bin";
+  const Graph g = make_grid(4, 4);
+  save_binary(g, path);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  expect_same_graph(g, load_binary(path));
+  // Overwriting an existing cache is atomic too.
+  save_binary(make_grid(5, 5), path);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  expect_same_graph(make_grid(5, 5), load_binary(path));
+  std::remove(path.c_str());
 }
 
 TEST(EdgeList, ParsesWeightsCommentsAndDirective) {

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.h"
+#include "util/json_reader.h"
+
+namespace lcs {
+namespace {
+
+std::string diagnosis_of(const std::string& text) {
+  try {
+    parse_json(text);
+  } catch (const CheckFailure& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(JsonReader, ParsesScalarsAndContainers) {
+  const JsonValue v = parse_json(
+      R"({"s": "hi", "i": -42, "u": 18446744073709551615, "d": 2e-4,)"
+      R"( "b": true, "z": null, "a": [1, 2, 3], "o": {"k": false}})");
+  EXPECT_EQ(v.find("s", "doc")->as_string("s"), "hi");
+  EXPECT_EQ(v.find("i", "doc")->as_int("i"), -42);
+  EXPECT_EQ(v.find("u", "doc")->as_uint("u"), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(v.find("d", "doc")->as_double("d"), 2e-4);
+  EXPECT_TRUE(v.find("b", "doc")->as_bool("b"));
+  EXPECT_TRUE(v.find("z", "doc")->is_null());
+  EXPECT_EQ(v.find("a", "doc")->as_array("a").size(), 3u);
+  EXPECT_FALSE(
+      v.find("o", "doc")->find("k", "o")->as_bool("k"));
+  EXPECT_EQ(v.find("missing", "doc"), nullptr);
+}
+
+TEST(JsonReader, PreservesRawNumberSpelling) {
+  const JsonValue v = parse_json(R"({"p": 2e-4, "n": 100000})");
+  EXPECT_EQ(v.find("p", "doc")->raw_number(), "2e-4");
+  EXPECT_EQ(v.find("n", "doc")->raw_number(), "100000");
+}
+
+TEST(JsonReader, MemberOrderIsPreserved) {
+  const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = v.as_object("doc");
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonReader, DuplicateKeyDiagnosedByName) {
+  // The classic silent misparse: last-wins parsers make these two
+  // contradictory fields look like one request.
+  const std::string msg =
+      diagnosis_of(R"({"algo": "mst", "algo": "mincut"})");
+  EXPECT_NE(msg.find("duplicate key \"algo\""), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+}
+
+TEST(JsonReader, DiagnosesCarryLineAndColumn) {
+  const std::string msg = diagnosis_of("{\"a\": 1,\n  bogus}");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(JsonReader, RejectsTrailingContent) {
+  EXPECT_THROW(parse_json(R"({"a": 1} {"b": 2})"), CheckFailure);
+  EXPECT_THROW(parse_json("true false"), CheckFailure);
+  // Trailing whitespace is fine.
+  EXPECT_NO_THROW(parse_json("{\"a\": 1}  \n\t"));
+}
+
+TEST(JsonReader, RejectsSyntaxJsonForbids) {
+  EXPECT_THROW(parse_json(""), CheckFailure);
+  EXPECT_THROW(parse_json("{'a': 1}"), CheckFailure);       // single quotes
+  EXPECT_THROW(parse_json("{a: 1}"), CheckFailure);         // unquoted key
+  EXPECT_THROW(parse_json("[1, 2,]"), CheckFailure);        // trailing comma
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), CheckFailure);
+  EXPECT_THROW(parse_json("[1 2]"), CheckFailure);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), CheckFailure);
+  EXPECT_THROW(parse_json("// comment\n1"), CheckFailure);
+  EXPECT_THROW(parse_json("[1"), CheckFailure);             // unterminated
+  EXPECT_THROW(parse_json("\"abc"), CheckFailure);
+  EXPECT_THROW(parse_json("\"tab\tinside\""), CheckFailure);  // raw control
+}
+
+TEST(JsonReader, RejectsNumbersJsonForbids) {
+  EXPECT_THROW(parse_json("+1"), CheckFailure);
+  EXPECT_THROW(parse_json("01"), CheckFailure);
+  EXPECT_THROW(parse_json(".5"), CheckFailure);
+  EXPECT_THROW(parse_json("1."), CheckFailure);
+  EXPECT_THROW(parse_json("1e"), CheckFailure);
+  EXPECT_THROW(parse_json("0x10"), CheckFailure);
+  EXPECT_THROW(parse_json("NaN"), CheckFailure);
+  EXPECT_THROW(parse_json("Infinity"), CheckFailure);
+  EXPECT_NO_THROW(parse_json("-0.5e+10"));
+}
+
+TEST(JsonReader, DecodesEscapesAndSurrogatePairs) {
+  const JsonValue v =
+      parse_json(R"(["\"\\\/\b\f\n\r\t", "Aé", "😀"])");
+  const auto& items = v.as_array("doc");
+  EXPECT_EQ(items[0].as_string("item"), "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(items[1].as_string("item"), "A\xc3\xa9");
+  EXPECT_EQ(items[2].as_string("item"), "\xf0\x9f\x98\x80");
+  EXPECT_THROW(parse_json(R"("\q")"), CheckFailure);
+  EXPECT_THROW(parse_json(R"("\u12")"), CheckFailure);
+  EXPECT_THROW(parse_json(R"("\ud83d")"), CheckFailure);  // lone surrogate
+}
+
+TEST(JsonReader, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  EXPECT_THROW(parse_json(deep), CheckFailure);
+}
+
+TEST(JsonReader, TypedAccessorsDiagnoseAgainstFieldName) {
+  const JsonValue v = parse_json(R"({"seed": "abc", "n": 1.5, "neg": -1})");
+  try {
+    v.find("seed", "doc")->as_int("request field 'seed'");
+    FAIL() << "string coerced to int";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("request field 'seed'"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(v.find("n", "doc")->as_int("n"), CheckFailure);
+  EXPECT_THROW(v.find("neg", "doc")->as_uint("neg"), CheckFailure);
+  EXPECT_THROW(v.find("seed", "doc")->as_bool("seed"), CheckFailure);
+  EXPECT_THROW(v.as_array("doc"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace lcs

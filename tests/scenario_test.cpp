@@ -69,6 +69,83 @@ TEST(Registry, UnknownFamilyAndUnknownParamDiagnosed) {
   EXPECT_THROW(make_scenario("grid:w=4,bogus=1"), CheckFailure);
 }
 
+TEST(Registry, UnknownParamDiagnosisNamesKeyAndAcceptedSet) {
+  try {
+    make_scenario("grid:w=4,bogus=1");
+    FAIL() << "unknown key accepted";
+  } catch (const CheckFailure& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("accepted:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("w"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("parts"), std::string::npos) << msg;  // common key
+  }
+}
+
+TEST(Registry, EveryBuiltinFamilyRejectsUnknownAndDuplicateKeys) {
+  // Per-family regression: a misspelled parameter must be diagnosed by
+  // name (never silently defaulted), and a duplicated one must be
+  // rejected at parse time for every family.
+  for (const auto& family : scenario::families()) {
+    if (family.name == "file") continue;  // needs a real path
+    SCOPED_TRACE(family.name);
+    EXPECT_FALSE(family.param_keys.empty())
+        << "builtin family must declare its parameter keys";
+    try {
+      make_scenario(family.name + ":zzz_bogus=1");
+      FAIL() << "unknown key accepted by " << family.name;
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find("zzz_bogus"), std::string::npos)
+          << e.what();
+    }
+    EXPECT_THROW(make_scenario(family.name + ":seed=1,seed=2"), CheckFailure);
+  }
+}
+
+TEST(Registry, FamilyLookupAndAcceptedKeys) {
+  const scenario::Family* grid = scenario::find_family("grid");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(scenario::find_family("no-such-family"), nullptr);
+
+  const auto accepted = scenario::accepted_param_keys(*grid);
+  for (const std::string& key : grid->param_keys)
+    EXPECT_NE(std::find(accepted.begin(), accepted.end(), key),
+              accepted.end())
+        << key;
+  for (const std::string& key : scenario::common_param_keys())
+    EXPECT_NE(std::find(accepted.begin(), accepted.end(), key),
+              accepted.end())
+        << key;
+
+  // A family that declared nothing opts out of pre-expansion checks.
+  scenario::Family undeclared = *grid;
+  undeclared.param_keys.clear();
+  EXPECT_TRUE(scenario::accepted_param_keys(undeclared).empty());
+}
+
+TEST(Registry, DeclaredKeysMatchWhatBuildersConsume) {
+  // Every declared key must actually be accepted by its family's builder
+  // (with the default spec as a base); a key in `param_keys` that the
+  // builder does not consume would make the pre-expansion sweep check lie.
+  for (const auto& family : scenario::families()) {
+    if (family.name == "file") continue;
+    for (const std::string& key : family.param_keys) {
+      SCOPED_TRACE(family.name + ":" + key);
+      if (key == "path") continue;  // value is a filesystem path
+      // `deg` vs `p`/`m` style alternatives can conflict; a consumed key
+      // never produces an "unknown parameter" diagnosis, though it may
+      // produce a value/conflict one. Distinguish by message.
+      try {
+        make_scenario(family.name + ":" + key + "=3");
+      } catch (const CheckFailure& e) {
+        EXPECT_EQ(std::string(e.what()).find("unknown parameter"),
+                  std::string::npos)
+            << e.what();
+      }
+    }
+  }
+}
+
 TEST(Registry, EveryBuiltinFamilyResolvesWithDefaults) {
   for (const auto& family : scenario::families()) {
     if (family.name == "file") continue;  // needs a real path

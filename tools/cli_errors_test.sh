@@ -44,6 +44,22 @@ expect_error() {
   echo "ok   $name"
 }
 
+# expect_error_contains NAME EXPECTED_RC SUBSTRING [args...]
+# expect_error plus a pin on the diagnosis text, for messages whose exact
+# wording is part of the contract (naming the offending key).
+expect_error_contains() {
+  local name="$1" expected_rc="$2" substring="$3"
+  shift 3
+  local out
+  out=$("$run" "$@" 2>/dev/null)
+  expect_error "$name" "$expected_rc" "$@"
+  if [[ "$out" != *"$substring"* ]]; then
+    echo "FAIL $name: diagnosis does not name the offender ('$substring'):" >&2
+    echo "$out" >&2
+    failures=$((failures + 1))
+  fi
+}
+
 # The three canonical failure paths, plus churn-specific diagnoses.
 expect_error malformed_spec 2 --algo=components --scenario='er:n=100,deg'
 expect_error unknown_family 2 --algo=components --scenario='frobnicate:n=10'
@@ -57,6 +73,32 @@ expect_error churn_unknown_param 2 --algo=churn --scenario='er:n=50,deg=4' \
 expect_error churn_bad_wrapper 2 --algo=churn --scenario='churn:steps=10'
 expect_error churn_flag_without_algo 2 --algo=mst --scenario='er:n=50,deg=4' \
   --churn='steps=10'
+
+# Silent-misparse regressions: a duplicated spec key and an unknown spec
+# key must be rejected with the offending key named, never last-wins or
+# silently defaulted.
+expect_error_contains duplicate_spec_key 2 "'n'" \
+  --algo=components --scenario='er:n=100,n=200,deg=4'
+expect_error_contains unknown_spec_key 2 "'frob'" \
+  --algo=components --scenario='er:n=100,deg=4,frob=1'
+expect_error_contains unknown_spec_key_lists_accepted 2 'accepted:' \
+  --algo=components --scenario='er:n=100,deg=4,frob=1'
+
+# A --sweep key that is not a parameter of the scenario family is rejected
+# before any expansion work (and names both the key and the family).
+expect_error_contains sweep_unknown_key 2 "'bogus'" \
+  --algo=components --scenario='er:n=100,deg=4' --sweep='bogus=1..4'
+expect_error_contains sweep_unknown_key_names_family 2 "family 'er'" \
+  --algo=components --scenario='er:n=100,deg=4' --sweep='bogus=1..4'
+# Common cross-family keys stay sweepable.
+out=$("$run" --algo=none --scenario='er:n=50,deg=4' --sweep='pseed=1..2' \
+  --no-timing 2>/dev/null)
+if [[ $? -ne 0 || "$out" == *'"error"'* ]]; then
+  echo "FAIL sweep_common_key: sweeping a common key must stay legal" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   sweep_common_key"
+fi
 
 # A successful run must NOT contain the error object (guards against the
 # error path leaking into healthy reports).

@@ -26,55 +26,29 @@
 ///
 ///     lcs_run --algo=components --scenario="er:n=1000,deg=6"
 ///             --sweep="n=1k..1M:x10" --no-timing
-#include <algorithm>
+///
+/// This tool is flag parsing around the shared report core in
+/// src/driver/run_driver.h; the persistent daemon (`lcs_serve`) calls the
+/// same core, which is what makes served responses byte-identical to these
+/// one-shot reports.
 #include <charconv>
-#include <chrono>
-#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <functional>
 #include <iostream>
-#include <optional>
-#include <set>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "apps/aggregate.h"
-#include "apps/components.h"
-#include "apps/mincut.h"
-#include "congest/network.h"
-#include "dynamic/churn.h"
-#include "graph/io.h"
-#include "graph/metrics.h"
-#include "graph/reference.h"
-#include "mst/boruvka_shortcut.h"
+#include "driver/run_driver.h"
 #include "scenario/scenario.h"
-#include "shortcut/find_shortcut.h"
-#include "shortcut/shortcut.h"
-#include "tree/bfs_tree.h"
 #include "util/check.h"
-#include "util/json_writer.h"
-#include "util/random.h"
 
 namespace {
 
 using namespace lcs;
 
 struct Options {
-  std::string algo;
-  std::string scenario;
-  std::string churn;            // churn parameters for --algo=churn
-  std::string sweep;            // empty = single run
-  std::string out_path;         // empty = stdout
-  std::string save_graph_path;  // empty = don't save
-  int threads = 1;
-  std::int64_t parallel_threshold = -1;  // engine default
-  std::uint64_t seed = 1;
-  double fail_rate = 0.25;  // components: fraction of logically failed edges
-  bool validate = false;
-  bool metrics = false;
-  bool timing = true;
+  driver::RunOptions run;
+  std::string out_path;  // empty = stdout
   bool list = false;
 };
 
@@ -133,31 +107,32 @@ Options parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     std::string v;
-    if (take_value(arg, "--algo", o.algo)) continue;
-    if (take_value(arg, "--scenario", o.scenario)) continue;
-    if (take_value(arg, "--churn", o.churn)) continue;
-    if (take_value(arg, "--sweep", o.sweep)) continue;
+    if (take_value(arg, "--algo", o.run.algo)) continue;
+    if (take_value(arg, "--scenario", o.run.scenario)) continue;
+    if (take_value(arg, "--churn", o.run.churn)) continue;
+    if (take_value(arg, "--sweep", o.run.sweep)) continue;
     if (take_value(arg, "--out", o.out_path)) continue;
-    if (take_value(arg, "--save-graph", o.save_graph_path)) continue;
+    if (take_value(arg, "--save-graph", o.run.save_graph_path)) continue;
     if (take_value(arg, "--threads", v)) {
-      o.threads = parse_flag<int>(v, "--threads");
+      o.run.threads = parse_flag<int>(v, "--threads");
       continue;
     }
     if (take_value(arg, "--parallel-threshold", v)) {
-      o.parallel_threshold = parse_flag<std::int64_t>(v, "--parallel-threshold");
+      o.run.parallel_threshold =
+          parse_flag<std::int64_t>(v, "--parallel-threshold");
       continue;
     }
     if (take_value(arg, "--seed", v)) {
-      o.seed = parse_flag<std::uint64_t>(v, "--seed");
+      o.run.seed = parse_flag<std::uint64_t>(v, "--seed");
       continue;
     }
     if (take_value(arg, "--fail-rate", v)) {
-      o.fail_rate = parse_flag<double>(v, "--fail-rate");
+      o.run.fail_rate = parse_flag<double>(v, "--fail-rate");
       continue;
     }
-    if (std::strcmp(arg, "--validate") == 0) { o.validate = true; continue; }
-    if (std::strcmp(arg, "--metrics") == 0) { o.metrics = true; continue; }
-    if (std::strcmp(arg, "--no-timing") == 0) { o.timing = false; continue; }
+    if (std::strcmp(arg, "--validate") == 0) { o.run.validate = true; continue; }
+    if (std::strcmp(arg, "--metrics") == 0) { o.run.metrics = true; continue; }
+    if (std::strcmp(arg, "--no-timing") == 0) { o.run.timing = false; continue; }
     if (std::strcmp(arg, "--list") == 0) { o.list = true; continue; }
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::cout << kUsage;
@@ -180,725 +155,19 @@ void list_families() {
                "(uniform re-weighting)\n";
 }
 
-/// Exact equality of two labelings as partitions of the node set.
-bool same_partition_structure(const std::vector<PartId>& a,
-                              const std::vector<NodeId>& b) {
-  std::vector<std::pair<PartId, NodeId>> pairs;
-  pairs.reserve(a.size());
-  for (std::size_t v = 0; v < a.size(); ++v) pairs.emplace_back(a[v], b[v]);
-  std::sort(pairs.begin(), pairs.end());
-  // Bijective iff every a-label maps to exactly one b-label and vice versa.
-  std::set<PartId> as;
-  std::set<NodeId> bs;
-  PartId prev_a = -1;
-  NodeId prev_b = -1;
-  bool first = true;
-  for (const auto& [la, lb] : pairs) {
-    if (!first && la == prev_a && lb != prev_b) return false;
-    if (first || la != prev_a) {
-      if (!as.insert(la).second) return false;
-      if (!bs.insert(lb).second) return false;
-    }
-    prev_a = la;
-    prev_b = lb;
-    first = false;
-  }
-  return true;
-}
-
-struct RunReport {
-  // Algorithm-specific payload, emitted under "result".
-  std::function<void(JsonWriter&)> result;
-  // Validation payload, emitted under "validation"; `ok` drives exit code.
-  bool validated = false;
-  bool ok = true;
-  std::function<void(JsonWriter&)> validation;
-};
-
-RunReport run_components(congest::Network& net, const SpanningTree& tree,
-                         const scenario::Scenario& sc, const Options& o) {
-  LCS_CHECK(o.fail_rate >= 0.0 && o.fail_rate < 1.0,
-            "--fail-rate must be in [0, 1)");
-  // Shared-seed logical failures, independent of the algorithm seed stream.
-  Rng rng(o.seed);
-  std::vector<bool> alive(static_cast<std::size_t>(sc.graph.num_edges()));
-  std::int64_t failed = 0;
-  for (std::size_t e = 0; e < alive.size(); ++e) {
-    alive[e] = !rng.next_bool(o.fail_rate);
-    if (!alive[e]) ++failed;
-  }
-
-  const ComponentsResult res =
-      distributed_components(net, tree, alive, o.seed);
-  std::set<PartId> labels(res.label.begin(), res.label.end());
-  const std::int64_t components = static_cast<std::int64_t>(labels.size());
-
-  RunReport rep;
-  rep.result = [components, failed, res](JsonWriter& w) {
-    w.kv("components", components);
-    w.kv("failed_edges", failed);
-    w.kv("phases", res.phases);
-  };
-  if (o.validate) {
-    const auto truth = connected_components(sc.graph, alive);
-    rep.validated = true;
-    rep.ok = same_partition_structure(res.label, truth);
-    std::set<NodeId> truth_labels(truth.begin(), truth.end());
-    const std::int64_t exact = static_cast<std::int64_t>(truth_labels.size());
-    const bool ok = rep.ok;
-    rep.validation = [exact, ok](JsonWriter& w) {
-      w.kv("oracle", "centralized union-find components");
-      w.kv("oracle_components", exact);
-      w.kv("labels_match", ok);
-    };
-  }
-  return rep;
-}
-
-RunReport run_mst(congest::Network& net, const SpanningTree& tree,
-                  const scenario::Scenario& sc, const Options& o) {
-  ShortcutMstOptions opts;
-  opts.seed = o.seed;
-  const DistributedMst mst = mst_boruvka_shortcut(net, tree, opts);
-
-  RunReport rep;
-  rep.result = [mst](JsonWriter& w) {
-    w.kv("weight", mst.total_weight);
-    w.kv("mst_edges", static_cast<std::int64_t>(mst.edges.size()));
-    w.kv("phases", mst.phases);
-  };
-  if (o.validate) {
-    const MstResult truth = kruskal_mst(sc.graph);
-    rep.validated = true;
-    rep.ok = truth.total_weight == mst.total_weight && truth.edges == mst.edges;
-    const bool ok = rep.ok;
-    const Weight w_truth = truth.total_weight;
-    rep.validation = [ok, w_truth](JsonWriter& w) {
-      w.kv("oracle", "Kruskal (weight, edge id) order");
-      w.kv("oracle_weight", w_truth);
-      w.kv("edges_match", ok);
-    };
-  }
-  return rep;
-}
-
-RunReport run_mincut(congest::Network& net, const SpanningTree& tree,
-                     const scenario::Scenario& sc, const Options& o) {
-  const MincutEstimate est = approx_mincut(net, tree, o.seed);
-
-  RunReport rep;
-  rep.result = [est](JsonWriter& w) {
-    w.kv("estimate", est.estimate);
-    w.kv("levels_tested", est.levels_tested);
-  };
-  if (o.validate) {
-    // Stoer-Wagner is O(n^3): cap the oracle at sizes where it is instant.
-    constexpr NodeId kOracleCap = 1500;
-    rep.validated = true;
-    if (sc.graph.num_nodes() <= kOracleCap) {
-      const Weight exact = stoer_wagner_mincut(sc.graph);
-      // Karger sampling brackets lambda within O(log n) w.h.p.; use a
-      // generous constant so the gate never flakes on legitimate runs.
-      const double slack =
-          64.0 * (std::log2(static_cast<double>(sc.graph.num_nodes())) + 2.0);
-      rep.ok = static_cast<double>(est.estimate) <=
-                   static_cast<double>(exact) * slack &&
-               static_cast<double>(exact) <=
-                   static_cast<double>(est.estimate) * slack;
-      const bool ok = rep.ok;
-      rep.validation = [exact, ok](JsonWriter& w) {
-        w.kv("oracle", "Stoer-Wagner exact min cut");
-        w.kv("oracle_lambda", exact);
-        w.kv("within_sampling_bracket", ok);
-      };
-    } else {
-      rep.validation = [](JsonWriter& w) {
-        w.kv("oracle", "skipped (graph above the O(n^3) oracle cap)");
-      };
-    }
-  }
-  return rep;
-}
-
-RunReport run_aggregate(congest::Network& net, const SpanningTree& tree,
-                        const scenario::Scenario& sc, const Options& o) {
-  FindShortcutParams params;
-  params.seed = o.seed;
-  PartAggregator agg(net, tree, sc.partition, params);
-  const FindShortcutStats stats = agg.construction_stats();
-
-  const std::int64_t before = net.total_rounds();
-  const auto leaders = agg.leaders();
-  const std::int64_t leader_rounds = net.total_rounds() - before;
-
-  RunReport rep;
-  rep.result = [stats, leader_rounds](JsonWriter& w) {
-    w.kv("trials", stats.trials);
-    w.kv("iterations", stats.iterations);
-    w.kv("used_c", stats.used_c);
-    w.kv("used_b", stats.used_b);
-    w.kv("construction_rounds", stats.rounds);
-    w.kv("leader_election_rounds", leader_rounds);
-  };
-  if (o.validate) {
-    std::vector<NodeId> truth(static_cast<std::size_t>(sc.partition.num_parts),
-                              kNoNode);
-    for (NodeId v = 0; v < sc.graph.num_nodes(); ++v) {
-      const PartId j = sc.partition.part(v);
-      if (j == kNoPart) continue;
-      auto& best = truth[static_cast<std::size_t>(j)];
-      if (best == kNoNode || v < best) best = v;
-    }
-    bool ok = true;
-    for (NodeId v = 0; v < sc.graph.num_nodes(); ++v) {
-      const PartId j = sc.partition.part(v);
-      if (j == kNoPart) continue;
-      if (leaders[static_cast<std::size_t>(v)] !=
-          truth[static_cast<std::size_t>(j)])
-        ok = false;
-    }
-    rep.validated = true;
-    rep.ok = ok;
-    rep.validation = [ok](JsonWriter& w) {
-      w.kv("oracle", "per-part minimum node id");
-      w.kv("leaders_match", ok);
-    };
-  }
-  return rep;
-}
-
-RunReport run_shortcut(congest::Network& net, const SpanningTree& tree,
-                       const scenario::Scenario& sc, const Options& o) {
-  FindShortcutParams params;
-  params.seed = o.seed;
-  const FindShortcutResult found =
-      find_shortcut_doubling(net, tree, sc.partition, params);
-  const FindShortcutStats stats = found.stats;
-
-  const std::int32_t cong = congestion(sc.graph, sc.partition,
-                                       found.state.shortcut);
-  const std::int32_t block = block_parameter(sc.graph, sc.partition,
-                                             found.state.shortcut);
-  const std::int32_t dil = dilation_estimate(sc.graph, sc.partition,
-                                             found.state.shortcut);
-
-  RunReport rep;
-  rep.result = [stats, cong, block, dil](JsonWriter& w) {
-    w.kv("trials", stats.trials);
-    w.kv("iterations", stats.iterations);
-    w.kv("used_c", stats.used_c);
-    w.kv("used_b", stats.used_b);
-    w.kv("congestion", cong);
-    w.kv("block_parameter", block);
-    w.kv("dilation_estimate", dil);
-  };
-  if (o.validate) {
-    bool ok = true;
-    try {
-      validate_shortcut(sc.graph, tree, sc.partition, found.state.shortcut);
-    } catch (const CheckFailure&) {
-      ok = false;
-    }
-    const std::int64_t lemma1 = lemma1_dilation_bound(tree, block);
-    const bool dil_ok = dil <= lemma1;
-    rep.validated = true;
-    rep.ok = ok && dil_ok;
-    rep.validation = [ok, dil_ok, lemma1](JsonWriter& w) {
-      w.kv("oracle", "validate_shortcut + Lemma 1 dilation bound");
-      w.kv("well_formed", ok);
-      w.kv("lemma1_bound", lemma1);
-      w.kv("dilation_within_bound", dil_ok);
-    };
-  }
-  return rep;
-}
-
-// ------------------------------------------------------------------ churn --
-
-const char* verify_mode_name(dynamic::VerifyMode mode) {
-  switch (mode) {
-    case dynamic::VerifyMode::kEveryStep: return "step";
-    case dynamic::VerifyMode::kSampled: return "sample";
-    case dynamic::VerifyMode::kOff: return "off";
-  }
-  return "?";
-}
-
-void emit_quality(JsonWriter& w, const ForestQuality& q) {
-  w.kv("congestion", q.congestion);
-  w.kv("dilation", q.dilation);
-  w.kv("product", q.product());
-}
-
-/// `--algo=churn`: resolve the base scenario, drive it through the verified
-/// churn stream, and emit one report object with a per-checkpoint array.
-/// The churn run itself is centralized (thread-invariant by construction);
-/// under --validate the final snapshot is additionally solved by the
-/// distributed engine (at --threads) and cross-checked against the
-/// incrementally maintained forest, so the threads-1/2/4 golden gate
-/// exercises a real engine run too.
-int run_churn_cell(const Options& o, JsonWriter& w) {
-  const auto t0 = std::chrono::steady_clock::now();
-
-  // The wrapper spec and the --churn flag are two spellings of the same
-  // thing; accept either, not both.
-  dynamic::ChurnSpec churn;
-  if (dynamic::is_churn_spec(o.scenario)) {
-    LCS_CHECK(o.churn.empty(),
-              "--churn and a churn: scenario wrapper are exclusive; put the "
-              "parameters in one place");
-    churn = dynamic::parse_churn_spec(o.scenario);
-  } else {
-    churn.base = o.scenario;
-    if (!o.churn.empty()) churn.params = dynamic::parse_churn_params(o.churn);
-  }
-  scenario::Scenario sc = scenario::make_scenario(churn.base);
-  if (!o.save_graph_path.empty()) save_binary(sc.graph, o.save_graph_path);
-
-  const dynamic::ChurnResult res =
-      dynamic::run_churn(sc.graph, sc.partition.part_of, churn.params);
-
-  // Engine cross-check: the distributed MST over the final snapshot must
-  // reproduce the maintained forest (weight and exact edge set, matched by
-  // sequence number through the snapshot's edge-id order).
-  bool validated = false;
-  bool ok = true;
-  std::function<void(JsonWriter&)> validation;
-  int engine_threads = -1;
-  if (o.validate) {
-    validated = true;
-    const dynamic::DynamicGraph::Snapshot& snap = *res.final_snapshot;
-    if (is_connected(snap.graph)) {
-      congest::Network net(snap.graph);
-      net.set_validate(true);
-      net.set_threads(o.threads);
-      if (o.parallel_threshold >= 0)
-        net.set_parallel_round_threshold(o.parallel_threshold);
-      const SpanningTree tree = build_bfs_tree(net, /*root=*/0);
-      ShortcutMstOptions opts;
-      opts.seed = o.seed;
-      const DistributedMst mst = mst_boruvka_shortcut(net, tree, opts);
-      engine_threads = net.threads();
-
-      std::vector<std::uint64_t> engine_seqs;
-      engine_seqs.reserve(mst.edges.size());
-      for (const EdgeId e : mst.edges)
-        engine_seqs.push_back(snap.seq[static_cast<std::size_t>(e)]);
-      std::sort(engine_seqs.begin(), engine_seqs.end());
-      // Snapshot edges are sorted by seq, so this is already sorted.
-      std::vector<std::uint64_t> maintained_seqs;
-      Weight maintained_weight = 0;
-      for (std::size_t e = 0; e < snap.in_msf.size(); ++e) {
-        if (!snap.in_msf[e]) continue;
-        maintained_seqs.push_back(snap.seq[e]);
-        maintained_weight += snap.graph.edge(static_cast<EdgeId>(e)).w;
-      }
-      ok = mst.total_weight == maintained_weight &&
-           engine_seqs == maintained_seqs;
-      const Weight w_engine = mst.total_weight;
-      const bool c_ok = ok;
-      validation = [w_engine, maintained_weight, c_ok](JsonWriter& w) {
-        w.kv("oracle", "distributed Boruvka MST over the final snapshot");
-        w.kv("oracle_weight", w_engine);
-        w.kv("maintained_weight", maintained_weight);
-        w.kv("edges_match", c_ok);
-      };
-    } else {
-      validation = [](JsonWriter& w) {
-        w.kv("oracle",
-             "skipped (final snapshot disconnected; per-checkpoint "
-             "incremental-vs-oracle checks still ran)");
-      };
-    }
-  }
-  const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
-
-  w.begin_object();
-  w.kv("schema", std::int64_t{1});
-  w.kv("algorithm", o.algo);
-
-  w.key("scenario").begin_object();
-  w.kv("spec", o.scenario);
-  w.kv("family", "churn");
-  w.key("base").begin_object();
-  w.kv("spec", sc.spec);
-  w.kv("family", sc.family);
-  w.kv("nodes", sc.graph.num_nodes());
-  w.kv("edges", sc.graph.num_edges());
-  w.kv("total_weight", sc.graph.total_weight());
-  w.kv("parts", sc.partition.num_parts);
-  if (o.metrics) {
-    w.kv("diameter_lb", diameter_double_sweep(sc.graph));
-    w.kv("max_part_diameter", max_part_diameter(sc.graph, sc.partition));
-  }
-  w.end_object();
-  w.end_object();
-
-  w.key("config").begin_object();
-  w.kv("seed", o.seed);
-  w.kv("validate", o.validate);
-  w.end_object();
-
-  const dynamic::ChurnParams& p = churn.params;
-  w.key("churn").begin_object();
-  w.kv("steps", p.steps);
-  w.kv("rate", p.rate);
-  w.kv("dfrac", p.delete_frac);
-  w.kv("seed", p.seed);
-  w.kv("weight_lo", p.weight_lo);
-  w.kv("weight_hi", p.weight_hi);
-  w.kv("verify", verify_mode_name(p.verify));
-  if (p.verify == dynamic::VerifyMode::kSampled)
-    w.kv("vperiod", p.verify_period);
-  w.kv("ops_per_step", res.ops_per_step);
-  w.kv("skipped_inserts", res.skipped_inserts);
-  w.kv("skipped_deletes", res.skipped_deletes);
-  w.end_object();
-
-  w.key("checkpoints").begin_array();
-  for (const dynamic::ChurnCheckpoint& cp : res.checkpoints) {
-    w.begin_object();
-    w.kv("step", cp.step);
-    w.kv("edges", cp.edges);
-    w.kv("components", cp.components);
-    w.kv("msf_weight", cp.msf_weight);
-    w.kv("msf_edges", cp.msf_edges);
-    w.key("quality").begin_object();
-    w.key("maintained").begin_object();
-    emit_quality(w, cp.maintained);
-    w.end_object();
-    w.key("fresh").begin_object();
-    emit_quality(w, cp.fresh);
-    w.end_object();
-    w.end_object();
-    w.key("counters").begin_object();
-    w.kv("inserts", cp.counters.inserts);
-    w.kv("deletes", cp.counters.deletes);
-    w.kv("msf_grows", cp.counters.msf_grows);
-    w.kv("msf_swaps", cp.counters.msf_swaps);
-    w.kv("msf_replacements", cp.counters.msf_replacements);
-    w.kv("msf_splits", cp.counters.msf_splits);
-    w.kv("uf_rebuilds", cp.counters.uf_rebuilds);
-    w.kv("uf_unions", cp.counters.uf_unions);
-    w.end_object();
-    w.kv("full_verifications", cp.full_verifications);
-    w.end_object();
-  }
-  w.end_array();
-
-  w.key("validation").begin_object();
-  w.kv("checked", validated);
-  if (validated) {
-    w.kv("ok", ok);
-    if (validation) validation(w);
-  }
-  w.end_object();
-
-  if (o.timing) {
-    w.key("timing").begin_object();
-    if (engine_threads >= 0) w.kv("threads", engine_threads);
-    w.kv("wall_ms", wall_ms);
-    w.end_object();
-  }
-  w.end_object();
-
-  if (validated && !ok) {
-    std::cerr << "lcs_run: VALIDATION FAILED for --algo=churn --scenario="
-              << o.scenario << "\n";
-    return 1;
-  }
-  return 0;
-}
-
-// ------------------------------------------------------------------ sweep --
-
-/// One `--sweep key=lo..hi[:steps|xfactor]` directive, expanded to the
-/// integer value of `key` at every sweep point.
-struct Sweep {
-  std::string key;
-  std::vector<std::int64_t> values;
-};
-
-/// Integer with an optional k/M/G decimal suffix ("250k" = 250000).
-std::int64_t parse_scaled_int(std::string_view token, const char* what) {
-  std::int64_t mult = 1;
-  if (!token.empty()) {
-    switch (token.back()) {
-      case 'k': mult = 1'000; break;
-      case 'M': mult = 1'000'000; break;
-      case 'G': mult = 1'000'000'000; break;
-      default: break;
-    }
-    if (mult != 1) token.remove_suffix(1);
-  }
-  std::int64_t out{};
-  const auto res = std::from_chars(token.data(), token.data() + token.size(), out);
-  LCS_CHECK(res.ec == std::errc() && res.ptr == token.data() + token.size(),
-            std::string("--sweep: malformed ") + what + " '" +
-                std::string(token) + "'");
-  std::int64_t scaled{};
-  LCS_CHECK(!__builtin_mul_overflow(out, mult, &scaled),
-            std::string("--sweep: ") + what + " overflows 64 bits");
-  return scaled;
-}
-
-Sweep parse_sweep(const std::string& directive) {
-  const auto eq = directive.find('=');
-  LCS_CHECK(eq != std::string::npos && eq > 0,
-            "--sweep wants key=lo..hi[:steps|xfactor], got '" + directive + "'");
-  Sweep sweep;
-  sweep.key = directive.substr(0, eq);
-
-  std::string_view rest = std::string_view(directive).substr(eq + 1);
-  std::string_view step_spec = "x2";  // default: double per point
-  if (const auto colon = rest.find(':'); colon != std::string_view::npos) {
-    step_spec = rest.substr(colon + 1);
-    rest = rest.substr(0, colon);
-  }
-  const auto dots = rest.find("..");
-  LCS_CHECK(dots != std::string_view::npos,
-            "--sweep range wants lo..hi, got '" + std::string(rest) + "'");
-  const std::int64_t lo = parse_scaled_int(rest.substr(0, dots), "range start");
-  const std::int64_t hi = parse_scaled_int(rest.substr(dots + 2), "range end");
-  LCS_CHECK(lo >= 1 && lo <= hi, "--sweep range needs 1 <= lo <= hi");
-
-  if (!step_spec.empty() && step_spec.front() == 'x') {
-    // Geometric: lo, lo*f, lo*f^2, ... up to the last point <= hi.
-    const std::string f_str(step_spec.substr(1));
-    double factor{};
-    const auto res = std::from_chars(f_str.data(), f_str.data() + f_str.size(),
-                                     factor);
-    LCS_CHECK(res.ec == std::errc() && res.ptr == f_str.data() + f_str.size() &&
-                  factor > 1.0,
-              "--sweep factor wants x<number greater than 1>, got 'x" + f_str +
-                  "'");
-    // Round each accumulated value before the range test so floating-point
-    // drift (1M reached as 10^6 * (1 + 2^-52)) cannot drop the endpoint —
-    // and a rounded point can never exceed the requested hi.
-    std::int64_t iterations = 0;
-    for (double v = static_cast<double>(lo);; v *= factor) {
-      // A factor of 1 + epsilon would spin near-forever before the point
-      // cap below could fire (adjacent duplicates are dropped), so bound
-      // the raw iteration count too: 10^6 covers every factor down to
-      // ~1.0001 across the whole 64-bit range.
-      LCS_CHECK(++iterations <= 1'000'000,
-                "--sweep factor is too close to 1 to terminate");
-      if (!(v < 0x1p62)) break;  // llround stays defined; covers NaN/inf
-      const std::int64_t point = std::llround(v);
-      if (point > hi) break;
-      if (sweep.values.empty() || point != sweep.values.back())
-        sweep.values.push_back(point);
-      LCS_CHECK(sweep.values.size() <= 10000,
-                "--sweep expands to more than 10000 points; use a larger "
-                "factor");
-    }
-  } else {
-    // Linear: `steps` evenly spaced points from lo to hi inclusive.
-    const std::int64_t steps = parse_scaled_int(step_spec, "step count");
-    LCS_CHECK(steps >= 1 && (steps >= 2 || lo == hi),
-              "--sweep wants at least 2 steps (or lo == hi)");
-    LCS_CHECK(steps <= 10000, "--sweep wants at most 10000 points");
-    for (std::int64_t i = 0; i < steps; ++i) {
-      // 128-bit intermediate: (hi - lo) * i can exceed 64 bits even though
-      // hi and lo individually fit.
-      const std::int64_t point =
-          steps == 1 ? lo
-                     : lo + static_cast<std::int64_t>(
-                                static_cast<__int128>(hi - lo) * i /
-                                (steps - 1));
-      if (sweep.values.empty() || point != sweep.values.back())
-        sweep.values.push_back(point);
-    }
-  }
-  return sweep;
-}
-
-/// The scenario spec with parameter `key` set to `value`: an existing
-/// `key=` token is replaced in place, otherwise the parameter is appended.
-/// Purely textual so the family's own parser stays the single authority on
-/// the vocabulary (an unknown key still fails loudly in make_scenario).
-std::string spec_with_param(const std::string& spec, const std::string& key,
-                            std::int64_t value) {
-  const std::string assignment = key + "=" + std::to_string(value);
-  const auto colon = spec.find(':');
-  if (colon == std::string::npos) return spec + ":" + assignment;
-
-  std::string out = spec.substr(0, colon + 1);
-  std::string_view rest = std::string_view(spec).substr(colon + 1);
-  bool replaced = false;
-  bool first = true;
-  while (!rest.empty()) {
-    const auto comma = rest.find(',');
-    const std::string_view token = rest.substr(0, comma);
-    rest = comma == std::string_view::npos ? std::string_view{}
-                                          : rest.substr(comma + 1);
-    if (!first) out += ',';
-    first = false;
-    if (token.substr(0, key.size() + 1) == key + "=") {
-      out += assignment;
-      replaced = true;
-    } else {
-      out += token;
-    }
-  }
-  if (!replaced) out += (first ? "" : ",") + assignment;
-  return out;
-}
-
-/// Runs one (algo, scenario) cell and emits its report object into `w`.
-/// Returns 0, or 1 when --validate found a mismatch.
-int run_one(const Options& o, JsonWriter& w) {
-  if (o.algo == "churn") return run_churn_cell(o, w);
-
-  const auto t0 = std::chrono::steady_clock::now();
-  scenario::Scenario sc = scenario::make_scenario(o.scenario);
-  if (!o.save_graph_path.empty()) save_binary(sc.graph, o.save_graph_path);
-
-  // `--algo=none` stops after scenario resolution: no engine, no BFS tree,
-  // no algorithm — the report is just the scenario section. This is the
-  // cheap probe for generator scaling studies (`--sweep` over n) and the
-  // CI large-n generation smoke.
-  std::optional<congest::Network> net;
-  std::int64_t setup_rounds = 0;
-  std::int64_t setup_messages = 0;
-  RunReport rep;
-  if (o.algo != "none") {
-    net.emplace(sc.graph);
-    net->set_validate(o.validate);
-    net->set_threads(o.threads);
-    if (o.parallel_threshold >= 0)
-      net->set_parallel_round_threshold(o.parallel_threshold);
-
-    const SpanningTree tree = build_bfs_tree(*net, /*root=*/0);
-    setup_rounds = net->total_rounds();
-    setup_messages = net->total_messages();
-
-    if (o.algo == "components") rep = run_components(*net, tree, sc, o);
-    else if (o.algo == "mst") rep = run_mst(*net, tree, sc, o);
-    else if (o.algo == "mincut") rep = run_mincut(*net, tree, sc, o);
-    else if (o.algo == "aggregate") rep = run_aggregate(*net, tree, sc, o);
-    else if (o.algo == "shortcut") rep = run_shortcut(*net, tree, sc, o);
-    else LCS_CHECK(false, "unknown --algo '" + o.algo + "' (see --help)");
-  }
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
-
-  w.begin_object();
-  w.kv("schema", std::int64_t{1});
-  w.kv("algorithm", o.algo);
-
-  w.key("scenario").begin_object();
-  w.kv("spec", sc.spec);
-  w.kv("family", sc.family);
-  w.kv("nodes", sc.graph.num_nodes());
-  w.kv("edges", sc.graph.num_edges());
-  w.kv("total_weight", sc.graph.total_weight());
-  w.kv("parts", sc.partition.num_parts);
-  // Both metrics below are BFS sweeps over the whole graph — priced like
-  // the oracles, so large-n runs only pay for them on request.
-  if (o.metrics) {
-    w.kv("diameter_lb", diameter_double_sweep(sc.graph));
-    w.kv("max_part_diameter", max_part_diameter(sc.graph, sc.partition));
-  }
-  w.end_object();
-
-  w.key("config").begin_object();
-  w.kv("seed", o.seed);
-  w.kv("validate", o.validate);
-  if (o.algo == "components") w.kv("fail_rate", o.fail_rate);
-  w.end_object();
-
-  if (net) {
-    w.key("setup").begin_object();
-    w.kv("rounds", setup_rounds);
-    w.kv("messages", setup_messages);
-    w.end_object();
-
-    w.key("result").begin_object();
-    rep.result(w);
-    w.kv("rounds", net->total_rounds() - setup_rounds);
-    w.kv("messages", net->total_messages() - setup_messages);
-    w.end_object();
-
-    w.key("charges").begin_object();
-    for (const auto& [label, rounds] : net->charged_rounds()) w.kv(label, rounds);
-    w.end_object();
-  }
-
-  w.key("validation").begin_object();
-  w.kv("checked", rep.validated);
-  if (rep.validated) {
-    w.kv("ok", rep.ok);
-    if (rep.validation) rep.validation(w);
-  }
-  w.end_object();
-
-  if (o.timing) {
-    w.key("timing").begin_object();
-    if (net) w.kv("threads", net->threads());
-    w.kv("wall_ms", wall_ms);
-    w.end_object();
-  }
-  w.end_object();
-
-  if (rep.validated && !rep.ok) {
-    std::cerr << "lcs_run: VALIDATION FAILED for --algo=" << o.algo
-              << " --scenario=" << o.scenario << "\n";
-    return 1;
-  }
-  return 0;
-}
-
 int run(const Options& o) {
-  LCS_CHECK(!o.scenario.empty(), "missing --scenario (see --help)");
-  LCS_CHECK(!o.algo.empty(), "missing --algo (see --help)");
-  LCS_CHECK(o.sweep.empty() || o.save_graph_path.empty(),
-            "--save-graph with --sweep would overwrite the same path at "
-            "every point; save single runs instead");
-  LCS_CHECK(o.churn.empty() || o.algo == "churn",
-            "--churn only applies to --algo=churn");
-  LCS_CHECK(o.algo == "churn" || !dynamic::is_churn_spec(o.scenario),
-            "a churn: scenario wrapper requires --algo=churn");
-  LCS_CHECK(o.sweep.empty() || !dynamic::is_churn_spec(o.scenario),
-            "--sweep cannot rewrite a churn: wrapper spec; pass the base "
-            "spec via --scenario and the churn parameters via --churn");
-
-  // Buffer the whole document and write it only once it is complete: a
-  // failing run (bad spec, mid-sweep CheckFailure) must neither truncate a
-  // pre-existing --out report nor leave malformed partial JSON behind.
-  std::ostringstream buffer;
-  JsonWriter w(buffer);
-
-  int rc = 0;
-  if (o.sweep.empty()) {
-    rc = run_one(o, w);
-  } else {
-    // Sweep mode: one report object per point, collected into a single
-    // array. Every point is an independent full run (fresh graph, network,
-    // and seed), so each array element equals the report of the equivalent
-    // single invocation.
-    const Sweep sweep = parse_sweep(o.sweep);
-    w.begin_array();
-    for (const std::int64_t value : sweep.values) {
-      Options point = o;
-      point.scenario = spec_with_param(o.scenario, sweep.key, value);
-      rc = std::max(rc, run_one(point, w));
-    }
-    w.end_array();
-  }
-  w.finish();
+  std::string report;
+  const int rc = driver::run_document(o.run, driver::RunHooks{}, report);
 
   if (o.out_path.empty()) {
-    std::cout << buffer.str();
+    std::cout << report;
   } else {
+    // The document is complete before the file is touched: a failing run
+    // can never truncate a pre-existing --out report.
     std::ofstream file_out(o.out_path, std::ios::trunc);
     LCS_CHECK(file_out.is_open(),
               "cannot open '" + o.out_path + "' for writing");
-    file_out << buffer.str();
+    file_out << report;
   }
   return rc;
 }
@@ -909,17 +178,7 @@ int run(const Options& o) {
 /// stdout — tooling that drives lcs_run always reads well-formed JSON — plus
 /// a human-readable echo on stderr and a nonzero exit.
 int report_error(const char* type, const std::exception& e, int rc) {
-  std::ostringstream buffer;
-  JsonWriter w(buffer);
-  w.begin_object();
-  w.key("error").begin_object();
-  w.kv("type", type);
-  w.kv("message", e.what());
-  w.kv("exit_code", static_cast<std::int64_t>(rc));
-  w.end_object();
-  w.end_object();
-  w.finish();
-  std::cout << buffer.str();
+  std::cout << driver::error_document(type, e.what(), rc);
   std::cerr << "lcs_run: " << e.what() << "\n";
   return rc;
 }

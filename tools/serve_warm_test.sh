@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Warm-start contract gate for the serve daemon's persistent caches.
+#
+# A warm start over a populated --cache-dir must be pure I/O: no generator
+# runs, no shortcut constructions — and must still answer every request
+# with bytes identical to the cold pass (which the serve_smoke gate in
+# turn pins to one-shot lcs_run). The daemon's {"cmd":"stats"} counters
+# make the contract mechanically checkable:
+#
+#   1. cold pass: fresh cache dir, every golden-matrix scenario as an
+#      --algo=shortcut request; stats must show generated > 0.
+#   2. warm pass: new daemon process, same dir, same requests; every
+#      response byte-identical, stats must show generated == 0 AND
+#      constructed == 0.
+#   3. corruption pass: truncate one scenario bundle and one shortcut
+#      record; a third daemon must degrade to regeneration (nonzero
+#      disk_load_failures) and STILL answer with identical bytes.
+#
+# Usage: serve_warm_test.sh /path/to/lcs_serve /path/to/lcs_run
+set -u
+
+serve="${1:?usage: serve_warm_test.sh /path/to/lcs_serve /path/to/lcs_run}"
+run="${2:?usage: serve_warm_test.sh /path/to/lcs_serve /path/to/lcs_run}"
+serve=$(realpath "$serve")
+run=$(realpath "$run")
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+cache="$TMP/cache"
+failures=0
+
+# The golden matrix's synthetic scenarios (tools/golden_smoke.sh), served
+# as shortcut constructions — the most expensive thing the daemon caches.
+SPECS=(
+  "grid:w=16,h=16"
+  "torus:w=12,h=12"
+  "er:n=300,deg=6,seed=5"
+  "maze:w=16,h=16,keep=0.3,seed=9"
+  "wheel:n=257,arcs=8"
+  "lb:paths=8"
+  "rmat:scale=8,deg=6,seed=3"
+  "ba:n=300,m=3,seed=4"
+  "rreg:n=256,d=4,seed=6"
+  "ktree:n=300,k=3,seed=8"
+)
+
+requests="$TMP/requests.jsonl"
+{
+  i=0
+  for spec in "${SPECS[@]}"; do
+    printf '{"id":"g%d","algo":"shortcut","scenario":"%s","seed":7,"validate":true,"timing":false}\n' "$i" "$spec"
+    i=$((i + 1))
+  done
+  printf '%s\n' '{"id":"stats","cmd":"stats"}' '{"cmd":"quit"}'
+} > "$requests"
+
+# strip_frames FILE — responses without the stats payload (which legitimately
+# differs between passes) and without frame headers.
+payload_of() {
+  awk '
+    /^#lcs_serve id=stats/ { in_stats = 1; next }
+    /^#lcs_serve id=/ { in_stats = 0; print; next }
+    { if (!in_stats) print }
+  ' "$1"
+}
+
+stats_of() {
+  awk '/^#lcs_serve id=stats/ { grab = 1; next } /^#lcs_serve/ { grab = 0 } grab' "$1"
+}
+
+counter() {  # counter FILE NAME -> value
+  grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$'
+}
+
+run_pass() {  # run_pass NAME -> writes $TMP/NAME.out, $TMP/NAME.stats
+  local name="$1"
+  "$serve" --cache-dir="$cache" < "$requests" > "$TMP/$name.raw" 2>"$TMP/$name.err"
+  local rc=$?
+  if [[ "$rc" -ne 0 ]]; then
+    echo "FAIL $name: lcs_serve exited $rc" >&2
+    cat "$TMP/$name.err" >&2
+    failures=$((failures + 1))
+  fi
+  payload_of "$TMP/$name.raw" > "$TMP/$name.out"
+  stats_of "$TMP/$name.raw" > "$TMP/$name.stats"
+}
+
+# --- cold pass -------------------------------------------------------------
+run_pass cold
+if [[ "$(counter "$TMP/cold.stats" generated)" -eq 0 ]]; then
+  echo "FAIL cold: expected generation on a fresh cache dir" >&2
+  failures=$((failures + 1))
+fi
+
+# Spot-check the cold responses against one-shot lcs_run (the full matrix
+# identity is serve_smoke's job).
+"$run" --algo=shortcut --scenario="${SPECS[0]}" --seed=7 --validate \
+  --no-timing > "$TMP/oneshot.json" 2>/dev/null
+awk '/^#lcs_serve id=g0 /{grab=1;next}/^#lcs_serve/{grab=0}grab' \
+  "$TMP/cold.raw" > "$TMP/cold.g0"
+if ! diff -u "$TMP/oneshot.json" "$TMP/cold.g0" >&2; then
+  echo "FAIL cold: g0 payload differs from one-shot lcs_run" >&2
+  failures=$((failures + 1))
+fi
+
+# --- warm pass: zero generation, zero construction, identical bytes --------
+run_pass warm
+if ! diff -u "$TMP/cold.out" "$TMP/warm.out" >&2; then
+  echo "FAIL warm: responses differ from the cold pass" >&2
+  failures=$((failures + 1))
+fi
+for c in generated constructed; do
+  v=$(counter "$TMP/warm.stats" "$c")
+  if [[ "$v" -ne 0 ]]; then
+    echo "FAIL warm: $c = $v, expected 0 (warm start must be pure I/O)" >&2
+    failures=$((failures + 1))
+  fi
+done
+for c in disk_loads; do
+  v=$(counter "$TMP/warm.stats" "$c")
+  if [[ "$v" -eq 0 ]]; then
+    echo "FAIL warm: $c = 0, expected disk traffic on a warm start" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+# --- corruption pass: torn entries degrade, never serve wrong bytes --------
+one_bundle=$(ls "$cache"/scenario-*.lcsg | head -1)
+one_record=$(ls "$cache"/shortcut-*.lcss | head -1)
+truncate -s 37 "$one_bundle"
+truncate -s 21 "$one_record"
+run_pass corrupted
+if ! diff -u "$TMP/cold.out" "$TMP/corrupted.out" >&2; then
+  echo "FAIL corrupted: responses differ after cache corruption" >&2
+  failures=$((failures + 1))
+fi
+v=$(counter "$TMP/corrupted.stats" disk_load_failures)
+if [[ "$v" -eq 0 ]]; then
+  echo "FAIL corrupted: disk_load_failures = 0, corruption went unnoticed" >&2
+  failures=$((failures + 1))
+fi
+
+# The corrupted entries were rewritten: one more pass is warm again.
+run_pass rewarmed
+for c in generated constructed; do
+  v=$(counter "$TMP/rewarmed.stats" "$c")
+  if [[ "$v" -ne 0 ]]; then
+    echo "FAIL rewarmed: $c = $v, expected 0 after cache self-repair" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "serve_warm_test: $failures failure(s)" >&2
+  exit 1
+fi
+echo "serve_warm_test: ${#SPECS[@]} scenarios warm-start from pure I/O, byte-identical, corruption degrades safely"
