@@ -40,8 +40,9 @@ void run(benchmark::State& state, const Instance& instance, NodeId root = 0) {
     state.counters["oracle_rounds"] = static_cast<double>(oracle.stats.rounds);
     state.counters["doubling_rounds"] =
         static_cast<double>(doubled.stats.rounds);
-    state.counters["overhead"] = static_cast<double>(doubled.stats.rounds) /
-                                 std::max<std::int64_t>(1, oracle.stats.rounds);
+    state.counters["overhead"] =
+        static_cast<double>(doubled.stats.rounds) /
+        static_cast<double>(std::max<std::int64_t>(1, oracle.stats.rounds));
     state.counters["trials"] = doubled.stats.trials;
     state.counters["used_c"] = doubled.stats.used_c;
     state.counters["used_b"] = doubled.stats.used_b;

@@ -7,6 +7,7 @@
 #include "shortcut/find_shortcut.h"
 #include "shortcut/part_routing.h"
 #include "shortcut/tree_ops.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -55,7 +56,7 @@ ComponentsResult distributed_components(congest::Network& net,
   FindShortcutParams params;
 
   const std::int32_t max_phases =
-      8 * static_cast<std::int32_t>(
+      8 * util::checked_trunc<std::int32_t>(
               std::log2(std::max<double>(2.0, n))) +
       20;
   std::int32_t phase = 0;

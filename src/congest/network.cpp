@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs::congest {
@@ -84,7 +85,7 @@ void Network::compute_range_layout() {
   int shift = 0;
   while ((std::int64_t{1} << shift) < per) ++shift;
   range_shift_ = shift;
-  num_ranges_ = n <= 1 ? 1 : static_cast<int>(((n - 1) >> shift) + 1);
+  num_ranges_ = n <= 1 ? 1 : util::checked_cast<int>(((n - 1) >> shift) + 1);
 }
 
 void Network::do_send(NodeId from, EdgeId e, const Message& m,
@@ -196,7 +197,7 @@ void Network::sort_ids(NodeId* data, std::size_t size,
   constexpr int kBytes = sizeof(NodeId);
   std::size_t hist[kBytes][256] = {};
   for (std::size_t i = 0; i < size; ++i) {
-    const auto key = static_cast<std::uint32_t>(data[i]);
+    const auto key = util::checked_cast<std::uint32_t>(data[i]);
     for (int b = 0; b < kBytes; ++b) ++hist[b][(key >> (8 * b)) & 0xff];
   }
   scratch.resize(size);
@@ -204,7 +205,7 @@ void Network::sort_ids(NodeId* data, std::size_t size,
   NodeId* dst = scratch.data();
   for (int b = 0; b < kBytes; ++b) {
     auto& h = hist[b];
-    const std::size_t first = (static_cast<std::uint32_t>(src[0]) >> (8 * b)) & 0xff;
+    const std::size_t first = (util::checked_cast<std::uint32_t>(src[0]) >> (8 * b)) & 0xff;
     if (h[first] == size) continue;  // all keys share this byte
     std::size_t offset = 0;
     for (std::size_t bucket = 0; bucket < 256; ++bucket) {
@@ -213,7 +214,7 @@ void Network::sort_ids(NodeId* data, std::size_t size,
       offset += count;
     }
     for (std::size_t i = 0; i < size; ++i) {
-      const auto key = static_cast<std::uint32_t>(src[i]);
+      const auto key = util::checked_cast<std::uint32_t>(src[i]);
       dst[h[(key >> (8 * b)) & 0xff]++] = src[i];
     }
     std::swap(src, dst);
@@ -244,8 +245,8 @@ std::int64_t Network::build_spans_segment(std::size_t lo, std::size_t hi,
       __builtin_prefetch(
           &node_state_[static_cast<std::size_t>(active_[i + 16])], 1);
     NodeState& st = node_state_[static_cast<std::size_t>(active_[i])];
-    spans_[i] = InboxSpan{static_cast<std::int32_t>(total), st.count};
-    st.count = static_cast<std::int32_t>(total);  // scatter write cursor
+    spans_[i] = InboxSpan{util::checked_cast<std::int32_t>(total), st.count};
+    st.count = util::checked_cast<std::int32_t>(total);  // scatter write cursor
     total += spans_[i].count;
   }
   return total;
@@ -499,7 +500,7 @@ PhaseStats Network::run(std::span<Process* const> procs,
         const std::size_t lo = n * uw / k;
         const std::size_t hi = n * (uw + 1) / k;
         for (std::size_t i = lo; i < hi; ++i) {
-          const auto v = static_cast<NodeId>(i);
+          const auto v = util::checked_cast<NodeId>(i);
           Context ctx(*this, v, num_nodes, -1, graph_->neighbors(v), lane);
           procs[i]->on_start(ctx);
         }

@@ -150,6 +150,7 @@
 #include "congest/message.h"
 #include "congest/process.h"
 #include "graph/graph.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/worker_pool.h"
 
@@ -318,7 +319,7 @@ class Network {
   void do_wake(NodeId v, SendLane* lane);
   /// The 31-bit view of `tick_` that `NodeState::stamp` compares against.
   std::int32_t tick32() const {
-    return static_cast<std::int32_t>(tick_ & 0x7fffffff);
+    return util::checked_cast<std::int32_t>(tick_ & 0x7fffffff);
   }
   /// Bump the global epoch; on 31-bit wrap, invalidate all node stamps.
   void advance_tick();
@@ -331,7 +332,7 @@ class Network {
 
   /// Destination range of node v (ranges are power-of-two spans of the id
   /// space, at most threads() of them — see compute_range_layout).
-  int range_of(NodeId v) const { return static_cast<int>(v >> range_shift_); }
+  int range_of(NodeId v) const { return util::checked_cast<int>(v >> range_shift_); }
   /// Recompute range_shift_ / num_ranges_ from num_nodes and threads_ and
   /// size the per-range structures.
   void compute_range_layout();

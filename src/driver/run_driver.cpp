@@ -23,6 +23,7 @@
 #include "shortcut/find_shortcut.h"
 #include "shortcut/shortcut.h"
 #include "tree/bfs_tree.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/hash.h"
 #include "util/json_writer.h"
@@ -331,6 +332,7 @@ void emit_quality(JsonWriter& w, const ForestQuality& q) {
 /// incrementally maintained forest, so the threads-1/2/4 golden gate
 /// exercises a real engine run too.
 int run_churn_cell(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
+  // lcs-lint: allow(D2) wall_ms report field: explicitly timed, stripped by --no-timing
   const auto t0 = std::chrono::steady_clock::now();
 
   // The wrapper spec and the --churn flag are two spellings of the same
@@ -386,7 +388,7 @@ int run_churn_cell(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
       for (std::size_t e = 0; e < snap.in_msf.size(); ++e) {
         if (!snap.in_msf[e]) continue;
         maintained_seqs.push_back(snap.seq[e]);
-        maintained_weight += snap.graph.edge(static_cast<EdgeId>(e)).w;
+        maintained_weight += snap.graph.edge(util::checked_cast<EdgeId>(e)).w;
       }
       ok = mst.total_weight == maintained_weight &&
            engine_seqs == maintained_seqs;
@@ -407,6 +409,7 @@ int run_churn_cell(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
     }
   }
   const double wall_ms = std::chrono::duration<double, std::milli>(
+                             // lcs-lint: allow(D2) wall_ms report field: explicitly timed
                              std::chrono::steady_clock::now() - t0)
                              .count();
 
@@ -671,6 +674,7 @@ std::string spec_with_param(const std::string& spec, const std::string& key,
 int run_one(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
   if (o.algo == "churn") return run_churn_cell(o, hooks, w);
 
+  // lcs-lint: allow(D2) wall_ms report field: explicitly timed, stripped by --no-timing
   const auto t0 = std::chrono::steady_clock::now();
   const std::shared_ptr<const scenario::Scenario> sc_ptr =
       resolve_scenario(hooks, o.scenario);
@@ -748,6 +752,7 @@ int run_one(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
     engine_threads = net->threads();
   }
   const double wall_ms =
+      // lcs-lint: allow(D2) wall_ms report field: explicitly timed
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 t0)
           .count();

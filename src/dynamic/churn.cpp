@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "scenario/scenario.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -163,9 +164,9 @@ ChurnResult run_churn(const Graph& initial, const std::vector<PartId>& part_of,
       } else {
         bool inserted = false;
         for (int attempt = 0; attempt < 64; ++attempt) {
-          const NodeId u = static_cast<NodeId>(
+          const NodeId u = util::checked_cast<NodeId>(
               rng.next_below(static_cast<std::uint64_t>(n)));
-          const NodeId v = static_cast<NodeId>(
+          const NodeId v = util::checked_cast<NodeId>(
               rng.next_below(static_cast<std::uint64_t>(n)));
           if (u == v || verified.fast().has_edge(u, v)) continue;
           const Weight w =

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <string>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs::dynamic {
 
 std::uint64_t DynamicGraph::pair_key(NodeId u, NodeId v) {
-  const auto a = static_cast<std::uint32_t>(std::min(u, v));
-  const auto b = static_cast<std::uint32_t>(std::max(u, v));
+  const auto a = util::checked_cast<std::uint32_t>(std::min(u, v));
+  const auto b = util::checked_cast<std::uint32_t>(std::max(u, v));
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
@@ -23,7 +24,7 @@ DynamicGraph::DynamicGraph(const Graph& initial)
   live_.reserve(static_cast<std::size_t>(initial.num_edges()));
   for (EdgeId e = 0; e < initial.num_edges(); ++e) {
     const auto& ed = initial.edge(e);
-    const auto slot = static_cast<std::int32_t>(slots_.size());
+    const auto slot = util::checked_cast<std::int32_t>(slots_.size());
     slots_.push_back(Slot{ed.u, ed.v, ed.w, static_cast<std::uint64_t>(e),
                           static_cast<std::int64_t>(live_.size()), false});
     live_.push_back(slot);
@@ -35,7 +36,7 @@ DynamicGraph::DynamicGraph(const Graph& initial)
   // free by-product of the same sweep (non-forest edges cannot merge).
   std::vector<std::int32_t> order(slots_.size());
   for (std::size_t i = 0; i < order.size(); ++i)
-    order[i] = static_cast<std::int32_t>(i);
+    order[i] = util::checked_cast<std::int32_t>(i);
   std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
     return key_of(a) < key_of(b);
   });
@@ -113,7 +114,7 @@ bool DynamicGraph::msf_path(NodeId u, NodeId v,
   bfs_via_[static_cast<std::size_t>(u)] = -2;  // visited, no via edge
   bool found = false;
   for (std::size_t head = 0; head < bfs_queue_.size() && !found; ++head) {
-    const NodeId x = static_cast<NodeId>(bfs_queue_[head]);
+    const NodeId x = util::checked_cast<NodeId>(bfs_queue_[head]);
     for (const std::int32_t slot : msf_adj_[static_cast<std::size_t>(x)]) {
       const Slot& s = slots_[static_cast<std::size_t>(slot)];
       const NodeId y = s.u == x ? s.v : s.u;
@@ -154,7 +155,7 @@ void DynamicGraph::insert_edge(NodeId u, NodeId v, Weight w) {
             "duplicate dynamic insert: edge (" + std::to_string(u) + ", " +
                 std::to_string(v) + ") is already live");
 
-  const auto slot = static_cast<std::int32_t>(slots_.size());
+  const auto slot = util::checked_cast<std::int32_t>(slots_.size());
   slots_.push_back(Slot{u, v, w, next_seq_++,
                         static_cast<std::int64_t>(live_.size()), false});
   live_.push_back(slot);
@@ -219,7 +220,7 @@ void DynamicGraph::delete_edge(NodeId u, NodeId v) {
   bfs_queue_.push_back(s.u);
   bfs_via_[static_cast<std::size_t>(s.u)] = -2;
   for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
-    const NodeId x = static_cast<NodeId>(bfs_queue_[head]);
+    const NodeId x = util::checked_cast<NodeId>(bfs_queue_[head]);
     for (const std::int32_t fslot : msf_adj_[static_cast<std::size_t>(x)]) {
       const Slot& f = slots_[static_cast<std::size_t>(fslot)];
       const NodeId y = f.u == x ? f.v : f.u;

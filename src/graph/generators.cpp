@@ -10,6 +10,7 @@
 #include "graph/metrics.h"
 #include "graph/pair_hash_set.h"
 #include "graph/union_find.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -27,7 +28,7 @@ NodeId grid_node(NodeId width, NodeId row, NodeId col) {
 NodeId checked_node_count(std::int64_t n, const char* what) {
   LCS_CHECK(n <= std::numeric_limits<NodeId>::max(),
             std::string(what) + " count overflows the 32-bit id space");
-  return static_cast<NodeId>(n);
+  return util::checked_cast<NodeId>(n);
 }
 
 }  // namespace
@@ -86,8 +87,8 @@ Graph make_genus_grid(NodeId width, NodeId height, int genus,
   while (added < genus) {
     LCS_CHECK(++attempts < 1000 * (genus + 1),
               "could not place requested number of chords");
-    NodeId a = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
-    NodeId b = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId a = util::checked_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId b = util::checked_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
     if (a == b) continue;
     if (!present.insert(a, b)) continue;
     edges.push_back({std::min(a, b), std::max(a, b), 1});
@@ -119,7 +120,7 @@ Graph make_random_tree(NodeId n, std::uint64_t seed) {
   edges.reserve(static_cast<std::size_t>(n) - 1);
   for (NodeId v = 1; v < n; ++v) {
     const NodeId parent =
-        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+        util::checked_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
     edges.push_back({parent, v, 1});
   }
   return Graph(n, std::move(edges));
@@ -177,7 +178,7 @@ Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed) {
   // Random spanning tree first so the result is always connected.
   for (NodeId v = 1; v < n; ++v) {
     const NodeId parent =
-        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+        util::checked_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
     present.insert(parent, v);
     edges.push_back({parent, v, 1});
   }
@@ -203,7 +204,7 @@ Graph make_erdos_renyi(NodeId n, double p, std::uint64_t seed) {
       ++u;
       v = static_cast<std::uint64_t>(u) + (v - (static_cast<std::uint64_t>(n) - 1));
     }
-    const NodeId w = static_cast<NodeId>(v);
+    const NodeId w = util::checked_cast<NodeId>(v);
     if (present.insert(u, w)) edges.push_back({u, w, 1});
   }
   return Graph(n, std::move(edges));
@@ -214,7 +215,7 @@ Graph make_rmat(int scale, EdgeId edges_target, double a, double b, double c,
   LCS_CHECK(scale >= 1 && scale <= 30, "rmat scale must be in [1, 30]");
   LCS_CHECK(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
             "rmat quadrant probabilities must be non-negative with a+b+c <= 1");
-  const NodeId n = static_cast<NodeId>(NodeId{1} << scale);
+  const NodeId n = util::checked_cast<NodeId>(NodeId{1} << scale);
   LCS_CHECK(edges_target >= n - 1,
             "rmat edge target below the n - 1 connectivity floor");
   LCS_CHECK(static_cast<std::int64_t>(edges_target) <=
@@ -230,7 +231,7 @@ Graph make_rmat(int scale, EdgeId edges_target, double a, double b, double c,
   // policy as make_erdos_renyi).
   for (NodeId v = 1; v < n; ++v) {
     const NodeId parent =
-        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+        util::checked_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
     present.insert(parent, v);
     edges.push_back({parent, v, 1});
   }
@@ -247,8 +248,8 @@ Graph make_rmat(int scale, EdgeId edges_target, double a, double b, double c,
       const double r = rng.next_double();
       const int ub = r < ab ? 0 : 1;
       const int vb = (r < a || (r >= ab && r < abc)) ? 0 : 1;
-      u = static_cast<NodeId>((u << 1) | ub);
-      v = static_cast<NodeId>((v << 1) | vb);
+      u = util::checked_cast<NodeId>((u << 1) | ub);
+      v = util::checked_cast<NodeId>((v << 1) | vb);
     }
     if (u == v) continue;
     if (u > v) std::swap(u, v);
@@ -396,7 +397,7 @@ Graph make_wheel(NodeId n) {
   std::vector<Graph::Edge> edges;
   edges.reserve(static_cast<std::size_t>(n) * 2);
   for (NodeId v = 0; v + 1 < n; ++v) {
-    edges.push_back({v, static_cast<NodeId>((v + 1) % (n - 1)), 1});
+    edges.push_back({v, util::checked_cast<NodeId>((v + 1) % (n - 1)), 1});
     edges.push_back({v, hub, 1});
   }
   return Graph(n, std::move(edges));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -58,7 +59,7 @@ std::span<const Graph::Neighbor> Graph::neighbors(NodeId v) const {
 }
 
 NodeId Graph::degree(NodeId v) const {
-  return static_cast<NodeId>(neighbors(v).size());
+  return util::checked_cast<NodeId>(neighbors(v).size());
 }
 
 NodeId Graph::other_endpoint(EdgeId e, NodeId v) const {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+#include "util/cast.h"
 
 namespace lcs {
 
@@ -47,7 +48,7 @@ class Graph {
   Graph(NodeId num_nodes, std::vector<Edge> edges);
 
   NodeId num_nodes() const { return num_nodes_; }
-  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  EdgeId num_edges() const { return util::checked_cast<EdgeId>(edges_.size()); }
 
   const Edge& edge(EdgeId e) const;
   std::span<const Neighbor> neighbors(NodeId v) const;

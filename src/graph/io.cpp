@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -69,13 +70,13 @@ Graph finish_text_graph(NodeId declared_nodes, std::vector<Graph::Edge> edges,
 
 void put_u32(std::ostream& out, std::uint32_t v) {
   char b[4];
-  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  for (int i = 0; i < 4; ++i) b[i] = util::truncate_cast<char>((v >> (8 * i)) & 0xff);
   out.write(b, 4);
 }
 
 void put_u64(std::ostream& out, std::uint64_t v) {
   char b[8];
-  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  for (int i = 0; i < 8; ++i) b[i] = util::truncate_cast<char>((v >> (8 * i)) & 0xff);
   out.write(b, 8);
 }
 
@@ -83,7 +84,7 @@ bool get_u32(std::istream& in, std::uint32_t& v) {
   unsigned char b[4];
   if (!in.read(reinterpret_cast<char*>(b), 4)) return false;
   v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) v |= util::checked_cast<std::uint32_t>(b[i]) << (8 * i);
   return true;
 }
 
@@ -288,11 +289,11 @@ void write_binary_bundle(const Graph& g,
   put_u64(out, static_cast<std::uint64_t>(g.num_edges()));
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& ed = g.edge(e);
-    put_u32(out, static_cast<std::uint32_t>(ed.u));
-    put_u32(out, static_cast<std::uint32_t>(ed.v));
+    put_u32(out, util::checked_cast<std::uint32_t>(ed.u));
+    put_u32(out, util::checked_cast<std::uint32_t>(ed.v));
     put_u64(out, ed.w);
   }
-  put_u32(out, static_cast<std::uint32_t>(sections.size()));
+  put_u32(out, util::checked_cast<std::uint32_t>(sections.size()));
   for (const BundleSection& s : sections) {
     LCS_CHECK(s.bytes.size() <= kMaxSectionBytes,
               "binary graph bundle section too large");
@@ -360,10 +361,10 @@ GraphBundle read_binary_bundle(std::istream& in) {
     LCS_CHECK(u < n64 && v < n64,
               "binary graph edge " + std::to_string(i) +
                   " endpoint out of range");
-    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+    edges.push_back({util::checked_cast<NodeId>(u), util::checked_cast<NodeId>(v), w});
   }
 
-  GraphBundle bundle{Graph(static_cast<NodeId>(n64), std::move(edges)), {}};
+  GraphBundle bundle{Graph(util::checked_cast<NodeId>(n64), std::move(edges)), {}};
   if (version < 2) return bundle;  // v1 files end after the edge payload
 
   std::uint32_t count = 0;
@@ -422,7 +423,7 @@ Partition decode_partition(std::string_view bytes, NodeId num_nodes) {
   LCS_CHECK(version == 1,
             "unsupported partition section version " + std::to_string(version));
   Partition p;
-  p.num_parts = static_cast<PartId>(r.get_i64("part count"));
+  p.num_parts = util::checked_cast<PartId>(r.get_i64("part count"));
   LCS_CHECK(p.num_parts >= 0, "partition section has negative part count");
   const std::uint64_t n = r.get_u64("node count");
   LCS_CHECK(n == static_cast<std::uint64_t>(num_nodes),

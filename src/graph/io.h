@@ -69,12 +69,12 @@
 namespace lcs {
 
 /// Parse an edge-list text stream (see header comment for the format).
-Graph read_edge_list(std::istream& in);
-Graph load_edge_list(const std::string& path);
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+[[nodiscard]] Graph load_edge_list(const std::string& path);
 
 /// Parse a DIMACS stream (`p`/`c`/`e`/`a` lines, 1-based ids).
-Graph read_dimacs(std::istream& in);
-Graph load_dimacs(const std::string& path);
+[[nodiscard]] Graph read_dimacs(std::istream& in);
+[[nodiscard]] Graph load_dimacs(const std::string& path);
 
 /// Binary cache format version written by `write_binary` /
 /// `write_binary_bundle`. History: 1 = graph only; 2 = graph + tagged
@@ -98,7 +98,7 @@ struct GraphBundle {
   std::vector<BundleSection> sections;
 
   /// First section with `tag`, or nullptr.
-  const BundleSection* find(std::uint32_t tag) const;
+  [[nodiscard]] const BundleSection* find(std::uint32_t tag) const;
 };
 
 /// Serialize to the versioned binary cache format (version 2; a plain
@@ -121,26 +121,26 @@ void save_bytes_atomic(const std::string& bytes, const std::string& path);
 /// Load a binary cache; rejects bad magic, unknown versions, out-of-range
 /// counts, and truncated payloads with a named diagnosis. `read_binary`
 /// validates but discards any sections; `read_binary_bundle` returns them.
-Graph read_binary(std::istream& in);
-Graph load_binary(const std::string& path);
-GraphBundle read_binary_bundle(std::istream& in);
-GraphBundle load_binary_bundle(const std::string& path);
+[[nodiscard]] Graph read_binary(std::istream& in);
+[[nodiscard]] Graph load_binary(const std::string& path);
+[[nodiscard]] GraphBundle read_binary_bundle(std::istream& in);
+[[nodiscard]] GraphBundle load_binary_bundle(const std::string& path);
 
 /// Partition section codec (`kSectionPartition`). Decoding validates the
 /// node count against `num_nodes` and every assignment against num_parts.
-std::string encode_partition(const Partition& p);
-Partition decode_partition(std::string_view bytes, NodeId num_nodes);
+[[nodiscard]] std::string encode_partition(const Partition& p);
+[[nodiscard]] Partition decode_partition(std::string_view bytes, NodeId num_nodes);
 
 /// Scenario-provenance section codec (`kSectionMeta`).
 struct BundleMeta {
   std::string spec;
   std::string family;
 };
-std::string encode_bundle_meta(const BundleMeta& meta);
-BundleMeta decode_bundle_meta(std::string_view bytes);
+[[nodiscard]] std::string encode_bundle_meta(const BundleMeta& meta);
+[[nodiscard]] BundleMeta decode_bundle_meta(std::string_view bytes);
 
 /// Load by extension: `.bin`/`.lcsg` → binary cache, `.dimacs`/`.gr`/`.col`
 /// → DIMACS, anything else → edge list.
-Graph load_graph(const std::string& path);
+[[nodiscard]] Graph load_graph(const std::string& path);
 
 }  // namespace lcs

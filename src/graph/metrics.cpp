@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -165,7 +166,7 @@ ForestQuality forest_part_quality(const Graph& g,
     if (forest_edge[static_cast<std::size_t>(e)]) ++flagged;
   for (NodeId root = 0; root < g.num_nodes(); ++root) {
     if (comp[static_cast<std::size_t>(root)] >= 0) continue;
-    const auto c = static_cast<std::int32_t>(comp_order.size());
+    const auto c = util::checked_cast<std::int32_t>(comp_order.size());
     comp_order.emplace_back();
     auto& order = comp_order.back();
     comp[static_cast<std::size_t>(root)] = c;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -68,8 +69,8 @@ class PairHashSet {
     LCS_CHECK(u >= 0 && v >= 0 && u != v,
               "pair set requires two distinct non-negative node ids");
     if (u > v) std::swap(u, v);
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
-           static_cast<std::uint32_t>(v);
+    return (static_cast<std::uint64_t>(util::checked_cast<std::uint32_t>(u)) << 32) |
+           util::checked_cast<std::uint32_t>(v);
   }
 
   /// SplitMix64 finalizer: full avalanche so consecutive ids spread.

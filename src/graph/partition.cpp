@@ -6,6 +6,7 @@
 
 #include "graph/generators.h"
 #include "graph/union_find.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -13,7 +14,7 @@ namespace lcs {
 
 std::vector<std::vector<NodeId>> Partition::members() const {
   std::vector<std::vector<NodeId>> result(static_cast<std::size_t>(num_parts));
-  for (NodeId v = 0; v < static_cast<NodeId>(part_of.size()); ++v) {
+  for (NodeId v = 0; v < util::checked_cast<NodeId>(part_of.size()); ++v) {
     const PartId p = part_of[static_cast<std::size_t>(v)];
     if (p != kNoPart) result[static_cast<std::size_t>(p)].push_back(v);
   }
@@ -21,7 +22,7 @@ std::vector<std::vector<NodeId>> Partition::members() const {
 }
 
 void validate_partition(const Graph& g, const Partition& p) {
-  LCS_CHECK(static_cast<NodeId>(p.part_of.size()) == g.num_nodes(),
+  LCS_CHECK(util::checked_cast<NodeId>(p.part_of.size()) == g.num_nodes(),
             "partition size does not match graph");
   LCS_CHECK(p.num_parts >= 0, "negative part count");
   for (const PartId id : p.part_of)

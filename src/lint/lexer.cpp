@@ -1,0 +1,207 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+#include "util/cast.h"
+
+namespace lcs::lint {
+
+namespace {
+
+// truncate_cast: char -> unsigned char reinterpretation, required before
+// handing a char to the <cctype> classifiers.
+bool is_ident_start(char c) {
+  return std::isalpha(util::truncate_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(util::truncate_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) {
+  return std::isdigit(util::truncate_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuators the rules care about, longest first so
+/// maximal munch picks `::` over `:` and `[[` over `[`. Everything else
+/// falls back to a single-character punct token.
+constexpr std::string_view kPuncts[] = {
+    "::", "->", "[[", "]]", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  out.reserve(src.size() / 6 + 16);
+
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  const auto emit = [&](TokKind kind, std::size_t begin, std::size_t end,
+                        int tline, int tcol) {
+    out.push_back(Token{kind, src.substr(begin, end - begin), tline, tcol});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+
+    const std::size_t begin = i;
+    const int tline = line;
+    const int tcol = col;
+
+    // Line comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      emit(TokKind::kComment, begin, i, tline, tcol);
+      continue;
+    }
+
+    // Block comment (unterminated extends to EOF).
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      advance(2);
+      while (i < src.size() &&
+             !(src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/')) {
+        advance(1);
+      }
+      advance(2);  // closing */ (no-op at EOF)
+      emit(TokKind::kComment, begin, i, tline, tcol);
+      continue;
+    }
+
+    // Raw string literal: [prefix]R"delim( ... )delim".
+    if (c == 'R' || c == 'L' || c == 'u' || c == 'U') {
+      std::size_t j = i;
+      // Optional encoding prefix before R (u8R, LR, ...).
+      if (src[j] == 'u' && j + 1 < src.size() && src[j + 1] == '8') j += 2;
+      else if (src[j] == 'L' || src[j] == 'u' || src[j] == 'U') j += 1;
+      if (j < src.size() && src[j] == 'R' && j + 1 < src.size() &&
+          src[j + 1] == '"') {
+        // Collect the delimiter up to '('.
+        std::size_t k = j + 2;
+        std::string_view delim;
+        while (k < src.size() && src[k] != '(' && k - (j + 2) < 16) ++k;
+        if (k < src.size() && src[k] == '(') {
+          delim = src.substr(j + 2, k - (j + 2));
+          // Find )delim" .
+          std::size_t body = k + 1;
+          std::size_t endpos = std::string_view::npos;
+          for (std::size_t p = body; p + delim.size() + 1 < src.size() + 1;
+               ++p) {
+            if (src[p] == ')' &&
+                src.compare(p + 1, delim.size(), delim) == 0 &&
+                p + 1 + delim.size() < src.size() &&
+                src[p + 1 + delim.size()] == '"') {
+              endpos = p + delim.size() + 2;
+              break;
+            }
+          }
+          if (endpos == std::string_view::npos) endpos = src.size();
+          advance(endpos - i);
+          emit(TokKind::kString, begin, i, tline, tcol);
+          continue;
+        }
+      }
+      // Not a raw string: fall through to identifier handling below.
+    }
+
+    // String literal.
+    if (c == '"') {
+      advance(1);
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) advance(2);
+        else if (src[i] == '\n') break;  // unterminated: stop at newline
+        else advance(1);
+      }
+      if (i < src.size() && src[i] == '"') advance(1);
+      emit(TokKind::kString, begin, i, tline, tcol);
+      continue;
+    }
+
+    // Char literal. Distinguish from digit separators (1'000'000): a quote
+    // directly following a number token's digits is handled in the number
+    // branch below, so reaching here with '\'' means a real char literal.
+    if (c == '\'') {
+      advance(1);
+      while (i < src.size() && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < src.size()) advance(2);
+        else if (src[i] == '\n') break;
+        else advance(1);
+      }
+      if (i < src.size() && src[i] == '\'') advance(1);
+      emit(TokKind::kCharLit, begin, i, tline, tcol);
+      continue;
+    }
+
+    // Number: digits, hex/bin prefixes, digit separators, suffixes, and
+    // exponents (1e-5, 0x1p+3). A leading '.' followed by a digit (.5) is
+    // also a number.
+    if (is_digit(c) || (c == '.' && i + 1 < src.size() && is_digit(src[i + 1]))) {
+      advance(1);
+      while (i < src.size()) {
+        const char d = src[i];
+        if (is_ident_char(d) || d == '.') {
+          advance(1);
+          // Exponent sign: e/E/p/P may be followed by +/-.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              i < src.size() && (src[i] == '+' || src[i] == '-')) {
+            advance(1);
+          }
+          continue;
+        }
+        if (d == '\'' && i + 1 < src.size() && is_ident_char(src[i + 1])) {
+          advance(1);  // digit separator
+          continue;
+        }
+        break;
+      }
+      emit(TokKind::kNumber, begin, i, tline, tcol);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      advance(1);
+      while (i < src.size() && is_ident_char(src[i])) advance(1);
+      emit(TokKind::kIdentifier, begin, i, tline, tcol);
+      continue;
+    }
+
+    // Multi-character punctuator (maximal munch), else single character.
+    bool matched = false;
+    for (const std::string_view p : kPuncts) {
+      if (src.compare(i, p.size(), p) == 0) {
+        advance(p.size());
+        emit(TokKind::kPunct, begin, i, tline, tcol);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      advance(1);
+      emit(TokKind::kPunct, begin, i, tline, tcol);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace lcs::lint

@@ -1,0 +1,45 @@
+/// \file lexer.h
+/// A real C++ tokenizer for the lcs_lint static-analysis pass.
+///
+/// The determinism rules (src/lint/README.md) are enforced on *token
+/// streams*, not on raw text: `// double-buffered` in a comment, a
+/// `"steady_clock"` inside a string literal, or a raw string containing
+/// `std::thread` must never trigger a finding. The lexer therefore
+/// understands line and block comments, string/char literals with escape
+/// sequences, raw string literals (`R"delim(...)delim"`), numbers,
+/// identifiers, and a small set of multi-character punctuators that the
+/// rules match on (`::`, `->`, `[[`, `]]`, compound assignment).
+///
+/// Comments are kept as tokens — suppression directives
+/// (`// lcs-lint: allow(RULE) reason`) live in them.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace lcs::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< numeric literal (integer or floating, any base)
+  kString,      ///< string literal, including raw strings; text incl. quotes
+  kCharLit,     ///< character literal
+  kPunct,       ///< operator / punctuator (possibly multi-character)
+  kComment,     ///< // or /* */ comment, text includes the delimiters
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;  ///< view into the lexed source
+  int line = 0;           ///< 1-based line of the token's first character
+  int col = 0;            ///< 1-based column of the token's first character
+};
+
+/// Tokenize `source`. Never throws on malformed input: an unterminated
+/// comment/string simply extends to end of file (the compiler is the
+/// authority on well-formedness; the linter only needs to never
+/// mis-classify). The returned tokens view into `source`, which must
+/// outlive them.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace lcs::lint

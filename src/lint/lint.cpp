@@ -1,0 +1,264 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace lcs::lint {
+
+namespace {
+
+struct Suppression {
+  int line = 0;            ///< line the comment sits on
+  int target_line = 0;     ///< line the suppression applies to
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
+  bool malformed = false;  ///< missing reason / unknown rule (reported once)
+};
+
+bool is_known_rule(std::string_view id) {
+  for (const auto& r : rule_table())
+    if (r.id == id) return true;
+  return false;
+}
+
+/// Parse `// lcs-lint: allow(RULE[,RULE...]) reason` out of a comment
+/// token. Returns true if the comment is a suppression directive at all
+/// (even a malformed one — those become LINT findings, not silent noise).
+bool parse_suppression(const Token& comment, Suppression* out,
+                       std::vector<Finding>* findings,
+                       std::string_view path) {
+  // A directive must open the comment (`// lcs-lint: ...`) — prose that
+  // merely *mentions* the syntax (docs, this file) is not a directive.
+  std::string_view text = comment.text;
+  while (!text.empty() && (text.front() == '/' || text.front() == '*' ||
+                           text.front() == ' ' || text.front() == '\t'))
+    text.remove_prefix(1);
+  const std::size_t tag = text.find("lcs-lint:");
+  if (tag != 0) return false;
+
+  out->line = comment.line;
+  const auto bad = [&](const std::string& what) {
+    findings->push_back(Finding{std::string(path), comment.line, comment.col,
+                                "LINT", what,
+                                "write: // lcs-lint: allow(RULE) reason"});
+    out->malformed = true;
+  };
+
+  const std::size_t allow = text.find("allow(", tag);
+  if (allow == std::string_view::npos) {
+    bad("malformed lcs-lint directive (expected 'allow(RULE) reason')");
+    return true;
+  }
+  const std::size_t close = text.find(')', allow);
+  if (close == std::string_view::npos) {
+    bad("malformed lcs-lint directive (unclosed 'allow(')");
+    return true;
+  }
+
+  std::string rules(text.substr(allow + 6, close - allow - 6));
+  std::stringstream ss(rules);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    // Trim.
+    const auto b = rule.find_first_not_of(" \t");
+    const auto e = rule.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    rule = rule.substr(b, e - b + 1);
+    if (!is_known_rule(rule)) {
+      bad("unknown rule '" + rule + "' in lcs-lint allow()");
+      continue;
+    }
+    out->rules.push_back(rule);
+  }
+  if (out->rules.empty() && !out->malformed) {
+    bad("lcs-lint allow() names no rule");
+  }
+
+  std::string reason(text.substr(close + 1));
+  const auto rb = reason.find_first_not_of(" \t");
+  if (rb == std::string::npos) {
+    bad("lcs-lint suppression has no reason — every allow() must say why");
+  } else {
+    out->reason = reason.substr(rb);
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "no iteration over std::unordered_map/set (hash order is not a "
+             "program order); sort via util/sorted.h or use std::map"},
+      {"D2", "no rand/random_device/clocks outside util/random.* and "
+             "explicitly-suppressed timing report fields"},
+      {"D3", "no ordering, hashing, or uintptr_t round-trips of raw "
+             "pointer values"},
+      {"D4", "no floating-point accumulation in engine/metric code "
+             "(src/congest, src/mst, src/shortcut, src/apps, src/tree, "
+             "src/dynamic, graph/metrics)"},
+      {"S1", "integer narrowing must use util::checked_cast / "
+             "util::truncate_cast (util/cast.h), not ad-hoc static_cast"},
+      {"S2", "no naked std::thread/std::async outside util/worker_pool"},
+      {"S3", "status/result returns in io/persist/cache/bytes headers must "
+             "be [[nodiscard]]"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view source,
+                                 int* suppressions_used) {
+  const std::vector<Token> tokens = lex(source);
+
+  // Split comments (suppression carriers) from code (what rules see).
+  std::vector<Token> code;
+  code.reserve(tokens.size());
+  std::vector<Finding> findings;
+  std::vector<Suppression> sups;
+  std::set<int> code_lines;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kComment) {
+      Suppression s;
+      if (parse_suppression(t, &s, &findings, path)) sups.push_back(s);
+      continue;
+    }
+    code.push_back(t);
+    code_lines.insert(t.line);
+  }
+
+  // A suppression covers its own line if code shares it; a full-line
+  // comment covers the next code line (within two lines, so a directive
+  // cannot drift away from what it excuses).
+  for (Suppression& s : sups) {
+    if (code_lines.count(s.line) > 0) {
+      s.target_line = s.line;
+    } else {
+      s.target_line = 0;
+      for (int l = s.line + 1; l <= s.line + 2; ++l) {
+        if (code_lines.count(l) > 0) { s.target_line = l; break; }
+      }
+    }
+  }
+
+  // Run the rules.
+  std::vector<Finding> raw;
+  detail::RuleContext ctx{
+      path, code,
+      [&](int line, int col, std::string_view rule, std::string message,
+          std::string hint) {
+        raw.push_back(Finding{std::string(path), line, col, std::string(rule),
+                              std::move(message), std::move(hint)});
+      }};
+  detail::check_d1_unordered_iteration(ctx);
+  detail::check_d2_nondeterminism_sources(ctx);
+  detail::check_d3_pointer_ordering(ctx);
+  detail::check_d4_float_accumulation(ctx);
+  detail::check_s1_unchecked_narrowing(ctx);
+  detail::check_s2_naked_threads(ctx);
+  detail::check_s3_nodiscard_status(ctx);
+
+  // Apply suppressions. A malformed directive (no reason, unknown rule)
+  // suppresses nothing: it is already a LINT finding, and honoring it would
+  // let a reason-less allow() pass everywhere except the directive line.
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (Suppression& s : sups) {
+      if (s.malformed || s.target_line != f.line) continue;
+      if (std::find(s.rules.begin(), s.rules.end(), f.rule) ==
+          s.rules.end())
+        continue;
+      s.used = true;
+      suppressed = true;
+    }
+    if (!suppressed) findings.push_back(std::move(f));
+  }
+
+  // Stale suppressions are themselves findings: an allow() that excuses
+  // nothing rots into a license the next edit silently inherits.
+  for (const Suppression& s : sups) {
+    if (s.used || s.malformed) continue;
+    std::string rules;
+    for (const auto& r : s.rules) {
+      if (!rules.empty()) rules += ',';
+      rules += r;
+    }
+    findings.push_back(
+        Finding{std::string(path), s.line, 1, "LINT",
+                "unused lcs-lint suppression for " + rules +
+                    " — it matches no finding on its line",
+                "remove the stale allow() (or move it to the line it "
+                "excuses)"});
+  }
+
+  if (suppressions_used != nullptr) {
+    *suppressions_used = 0;
+    for (const Suppression& s : sups)
+      if (s.used) ++*suppressions_used;
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.col, a.rule) <
+                     std::tie(b.line, b.col, b.rule);
+            });
+  return findings;
+}
+
+LintResult lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+
+  std::vector<std::string> files;
+  const auto consider = [&](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    if (ext != ".cpp" && ext != ".h" && ext != ".cc" && ext != ".hpp") return;
+    const std::string s = p.generic_string();
+    // The fixture corpus deliberately violates every rule.
+    if (s.find("lint_fixtures") != std::string::npos) return;
+    files.push_back(s);
+  };
+
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file()) consider(e.path());
+      }
+    } else if (fs::is_regular_file(p)) {
+      consider(fs::path(p));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  LintResult result;
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    int used = 0;
+    std::vector<Finding> file_findings = lint_source(f, source, &used);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(file_findings.begin()),
+                           std::make_move_iterator(file_findings.end()));
+    result.suppressions_used += used;
+    ++result.files_scanned;
+  }
+  return result;
+}
+
+std::string format_finding(const Finding& f) {
+  std::string out = f.file + ":" + std::to_string(f.line) + ":" +
+                    std::to_string(f.col) + ": " + f.rule + ": " + f.message;
+  if (!f.hint.empty()) out += " (fix: " + f.hint + ")";
+  return out;
+}
+
+}  // namespace lcs::lint

@@ -1,0 +1,78 @@
+/// \file lint.h
+/// lcs_lint — the repo-specific determinism & safety static-analysis pass.
+///
+/// The repo's headline guarantee is that every observable (reports,
+/// goldens, serve payloads, engine counters) is bit-identical at any
+/// thread count and across the run/serve/cache paths. The golden matrix
+/// and TSan enforce that *dynamically, after the fact*; this pass enforces
+/// the source-level discipline that makes it true:
+///
+///   D1  no iteration over `std::unordered_map/set` (hash order is not a
+///       program order) outside the blessed sort-before-use helpers;
+///   D2  no `rand`/`random_device`/`time`/`chrono` clocks outside
+///       `src/util/random.*` and explicitly-suppressed timing fields;
+///   D3  no ordering, hashing, or integer round-trips of raw pointer
+///       values (addresses vary run to run);
+///   D4  no floating-point accumulation in engine/metric code (FP addition
+///       is not associative, so accumulation order becomes observable);
+///   S1  integer narrowing must route through util::checked_cast /
+///       util::truncate_cast (src/util/cast.h), never ad-hoc static_cast;
+///   S2  no naked `std::thread`/`std::async` outside util/worker_pool;
+///   S3  status/result returns in the io/persist/cache layers must be
+///       `[[nodiscard]]` (the compiler then gates discarded results).
+///
+/// Findings print `file:line:col: RULE: message (fix: hint)`. A finding is
+/// suppressed by an end-of-line (or immediately preceding full-line)
+/// comment `// lcs-lint: allow(RULE) reason` — the reason is mandatory,
+/// and a suppression that matches no finding is itself an error, so stale
+/// allows cannot accumulate. Full rule table with rationale and examples:
+/// src/lint/README.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcs::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string rule;     ///< "D1".."D4", "S1".."S3", or "LINT" (pass hygiene)
+  std::string message;  ///< what is wrong
+  std::string hint;     ///< how to fix it
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The enforced rule set, in report order.
+const std::vector<RuleInfo>& rule_table();
+
+/// Lint one in-memory translation unit. `path` is the repo-relative path —
+/// rule scoping (allowlists, per-layer rules) matches on it. Suppression
+/// accounting is per-file: unused suppressions come back as LINT findings.
+/// If `suppressions_used` is non-null it receives the number of honored
+/// suppression directives.
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view source,
+                                 int* suppressions_used = nullptr);
+
+struct LintResult {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  int suppressions_used = 0;
+};
+
+/// Lint every `.cpp/.h/.cc/.hpp` under the given files or directories
+/// (recursively), in sorted path order. Paths containing `lint_fixtures`
+/// are skipped — the fixture corpus deliberately violates every rule.
+LintResult lint_paths(const std::vector<std::string>& paths);
+
+/// "file:line:col: RULE: message (fix: hint)".
+std::string format_finding(const Finding& f);
+
+}  // namespace lcs::lint

@@ -1,0 +1,38 @@
+/// \file rules.h
+/// Internal interface between the lint driver and the rule implementations.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace lcs::lint::detail {
+
+/// Everything a rule sees: the repo-relative path, the token stream with
+/// comments stripped (rules never look inside comments or strings), and a
+/// sink for findings.
+struct RuleContext {
+  std::string_view path;
+  const std::vector<Token>& code;  ///< comment tokens removed
+  std::function<void(int line, int col, std::string_view rule,
+                     std::string message, std::string hint)>
+      report;
+};
+
+void check_d1_unordered_iteration(const RuleContext& ctx);
+void check_d2_nondeterminism_sources(const RuleContext& ctx);
+void check_d3_pointer_ordering(const RuleContext& ctx);
+void check_d4_float_accumulation(const RuleContext& ctx);
+void check_s1_unchecked_narrowing(const RuleContext& ctx);
+void check_s2_naked_threads(const RuleContext& ctx);
+void check_s3_nodiscard_status(const RuleContext& ctx);
+
+/// True if `path` ends with `suffix` (repo-relative match).
+bool path_ends_with(std::string_view path, std::string_view suffix);
+/// True if `path` contains `part` as a substring (directory scoping).
+bool path_contains(std::string_view path, std::string_view part);
+
+}  // namespace lcs::lint::detail

@@ -1,5 +1,6 @@
 #include "mst/boruvka_common.h"
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -48,7 +49,7 @@ std::int64_t apply_merges(Partition& fragments,
   for (std::size_t v = 0; v < fragments.part_of.size(); ++v) {
     if (fragments.part_of[v] == kNoPart) continue;
     if (delivered[v] == kNoCandidate) continue;
-    const auto head = static_cast<PartId>(delivered[v]);
+    const auto head = util::checked_cast<PartId>(delivered[v]);
     if (fragments.part_of[v] != head) {
       fragments.part_of[v] = head;
       ++changed;

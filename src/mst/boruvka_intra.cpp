@@ -5,6 +5,7 @@
 #include "mst/boruvka_common.h"
 #include "mst/intra_flood.h"
 #include "shortcut/tree_ops.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -20,7 +21,7 @@ DistributedMst mst_boruvka_intra(congest::Network& net,
   std::vector<bool> mst_edge(static_cast<std::size_t>(g.num_edges()), false);
 
   const std::int32_t max_phases =
-      8 * static_cast<std::int32_t>(
+      8 * util::checked_trunc<std::int32_t>(
               std::log2(std::max<double>(2.0, n))) +
       20;
   std::int32_t phase = 0;

@@ -5,6 +5,7 @@
 #include "mst/boruvka_common.h"
 #include "shortcut/part_routing.h"
 #include "shortcut/tree_ops.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -22,7 +23,7 @@ DistributedMst mst_boruvka_shortcut(congest::Network& net,
   FindShortcutParams params = options.shortcut_params;
 
   const std::int32_t max_phases =
-      8 * static_cast<std::int32_t>(
+      8 * util::checked_trunc<std::int32_t>(
               std::log2(std::max<double>(2.0, n))) +
       20;
   std::int32_t phase = 0;

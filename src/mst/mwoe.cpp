@@ -1,5 +1,6 @@
 #include "mst/mwoe.h"
 
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -8,13 +9,13 @@ namespace lcs {
 std::uint64_t pack_candidate(Weight w, EdgeId e) {
   LCS_CHECK(w < (std::uint64_t{1} << 32), "weight must fit 32 bits");
   LCS_CHECK(e >= 0, "invalid edge id");
-  return (w << 32) | static_cast<std::uint32_t>(e);
+  return (w << 32) | util::checked_cast<std::uint32_t>(e);
 }
 
 Weight candidate_weight(std::uint64_t packed) { return packed >> 32; }
 
 EdgeId candidate_edge(std::uint64_t packed) {
-  return static_cast<EdgeId>(packed & 0xFFFFFFFFu);
+  return util::checked_cast<EdgeId>(packed & 0xFFFFFFFFu);
 }
 
 congest::PerNode<std::uint64_t> local_mwoe_candidates(

@@ -8,6 +8,7 @@
 #include "graph/union_find.h"
 #include "mst/boruvka_common.h"
 #include "shortcut/tree_ops.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -46,7 +47,7 @@ class UpcastProcess final : public congest::Process {
   void on_round(Context& ctx, std::span<const Incoming> inbox) override {
     for (const auto& in : inbox) {
       if (in.msg.tag == kItem) {
-        const auto f = static_cast<PartId>(in.msg.words[0]);
+        const auto f = util::checked_cast<PartId>(in.msg.words[0]);
         const std::uint64_t cand = in.msg.words[1];
         const auto it = best_.find(f);
         if (it == best_.end() || cand < it->second) best_[f] = cand;
@@ -122,9 +123,9 @@ class DowncastProcess final : public congest::Process {
   void on_round(Context& ctx, std::span<const Incoming> inbox) override {
     for (const auto& in : inbox) {
       LCS_CHECK(in.msg.tag == kItem, "unexpected downcast message");
-      const Triple t{static_cast<PartId>(in.msg.words[0]),
-                     static_cast<PartId>(in.msg.words[1]),
-                     static_cast<EdgeId>(in.msg.words[2])};
+      const Triple t{util::checked_cast<PartId>(in.msg.words[0]),
+                     util::checked_cast<PartId>(in.msg.words[1]),
+                     util::checked_cast<EdgeId>(in.msg.words[2])};
       received.push_back(t);
       queue_.push_back(t);
     }
@@ -160,7 +161,7 @@ DistributedMst mst_pipeline(congest::Network& net, const SpanningTree& tree) {
   std::vector<bool> mst_edge(static_cast<std::size_t>(g.num_edges()), false);
 
   const std::int32_t max_phases =
-      2 * static_cast<std::int32_t>(
+      2 * util::checked_trunc<std::int32_t>(
               std::log2(std::max<double>(2.0, n))) +
       8;
   std::int32_t phase = 0;

@@ -9,6 +9,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs::scenario {
@@ -29,7 +30,7 @@ T parse_number(std::string_view token, const std::string& key) {
 NodeId as_node(std::int64_t v, const std::string& key) {
   LCS_CHECK(v >= 0 && v <= std::numeric_limits<NodeId>::max(),
             "scenario parameter '" + key + "' out of 32-bit id range");
-  return static_cast<NodeId>(v);
+  return util::checked_cast<NodeId>(v);
 }
 
 /// The registry-wide suggested part count: ~sqrt(n) connected blobs, the
@@ -37,7 +38,7 @@ NodeId as_node(std::int64_t v, const std::string& key) {
 /// nodes, as in the benches).
 PartId suggested_parts(NodeId n) {
   const PartId k = std::max<PartId>(
-      2, static_cast<PartId>(std::sqrt(static_cast<double>(n))));
+      2, util::checked_trunc<PartId>(std::sqrt(static_cast<double>(n))));
   return std::min<PartId>(k, n);
 }
 
@@ -194,7 +195,7 @@ std::vector<Family> make_builtin_families() {
                   [](SpecArgs& a) {
                     const NodeId w = as_node(a.get_int("w", 24), "w");
                     const NodeId h = as_node(a.get_int("h", w), "h");
-                    const int g = static_cast<int>(a.get_int("g", 8));
+                    const int g = util::checked_cast<int>(a.get_int("g", 8));
                     return FamilyResult{
                         make_genus_grid(w, h, g, a.get_uint("seed", 1)),
                         std::nullopt};
@@ -261,7 +262,7 @@ std::vector<Family> make_builtin_families() {
                   [](SpecArgs& a) {
                     const NodeId n = as_node(a.get_int("n", 513), "n");
                     const PartId arcs =
-                        static_cast<PartId>(as_node(a.get_int("arcs", 8), "arcs"));
+                        util::checked_cast<PartId>(as_node(a.get_int("arcs", 8), "arcs"));
                     return FamilyResult{make_wheel(n),
                                         make_cycle_arcs_partition(n, arcs)};
                   },
@@ -282,7 +283,7 @@ std::vector<Family> make_builtin_families() {
   fams.push_back({"rmat", "scale=10,deg=8|m=...,a=0.57,b=0.19,c=0.19,seed=1",
                   "R-MAT on 2^scale nodes: skewed power-law-like degrees",
                   [](SpecArgs& a) {
-                    const int scale = static_cast<int>(a.get_int("scale", 10));
+                    const int scale = util::checked_cast<int>(a.get_int("scale", 10));
                     LCS_CHECK(scale >= 1 && scale <= 30,
                               "rmat scale must be in [1, 30]");
                     const std::int64_t n = std::int64_t{1} << scale;
@@ -295,7 +296,7 @@ std::vector<Family> make_builtin_families() {
                     }
                     return FamilyResult{
                         make_rmat(scale,
-                                  static_cast<EdgeId>(as_node(m, "m")),
+                                  util::checked_cast<EdgeId>(as_node(m, "m")),
                                   a.get_double("a", 0.57), a.get_double("b", 0.19),
                                   a.get_double("c", 0.19), a.get_uint("seed", 1)),
                         std::nullopt};
@@ -420,7 +421,7 @@ Scenario make_scenario(std::string_view spec) {
   Partition partition;
   if (args.has("parts")) {
     const PartId k =
-        static_cast<PartId>(as_node(args.require_int("parts"), "parts"));
+        util::checked_cast<PartId>(as_node(args.require_int("parts"), "parts"));
     partition =
         make_random_bfs_partition(built.graph, k, args.get_uint("pseed", 1));
   } else if (built.partition.has_value()) {

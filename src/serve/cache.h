@@ -59,14 +59,14 @@ class ScenarioCache {
   /// Resolve `spec`, through the memo, then the disk layer, then the
   /// scenario registry (which populates both). Shape matches the
   /// RunHooks::resolve_scenario hook.
-  std::shared_ptr<const scenario::Scenario> resolve(const std::string& spec);
+  [[nodiscard]] std::shared_ptr<const scenario::Scenario> resolve(const std::string& spec);
 
-  ScenarioCacheStats stats() const;
+  [[nodiscard]] ScenarioCacheStats stats() const;
 
  private:
-  std::shared_ptr<const scenario::Scenario> load_from_disk(
+  [[nodiscard]] std::shared_ptr<const scenario::Scenario> load_from_disk(
       const std::string& spec, const std::string& path);
-  std::string path_for(const std::string& spec) const;
+  [[nodiscard]] std::string path_for(const std::string& spec) const;
 
   std::string dir_;
   mutable std::mutex mu_;
@@ -88,15 +88,15 @@ class ShortcutRecordCache {
   /// Memo, then disk (decoded and key-verified against `sc`), else null —
   /// the driver then constructs and calls `store`. Shapes match the
   /// RunHooks find/store hooks.
-  std::shared_ptr<const ShortcutRunRecord> find(
+  [[nodiscard]] std::shared_ptr<const ShortcutRunRecord> find(
       const driver::ShortcutCacheKey& key, const scenario::Scenario& sc);
   void store(const driver::ShortcutCacheKey& key, const scenario::Scenario& sc,
              const std::shared_ptr<const ShortcutRunRecord>& record);
 
-  RecordCacheStats stats() const;
+  [[nodiscard]] RecordCacheStats stats() const;
 
  private:
-  std::string path_for(const driver::ShortcutCacheKey& key) const;
+  [[nodiscard]] std::string path_for(const driver::ShortcutCacheKey& key) const;
 
   std::string dir_;
   mutable std::mutex mu_;

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "driver/run_driver.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/json_reader.h"
 #include "util/json_writer.h"
@@ -55,7 +56,7 @@ driver::RunOptions parse_request(const JsonValue& v) {
     else if (key == "churn") o.churn = val.as_string(what);
     else if (key == "sweep") o.sweep = val.as_string(what);
     else if (key == "seed") o.seed = val.as_uint(what);
-    else if (key == "threads") o.threads = static_cast<int>(val.as_int(what));
+    else if (key == "threads") o.threads = util::checked_cast<int>(val.as_int(what));
     else if (key == "parallel_threshold")
       o.parallel_threshold = val.as_int(what);
     else if (key == "fail_rate") o.fail_rate = val.as_double(what);
@@ -103,7 +104,8 @@ Server::Server(const ServeOptions& options)
 }
 
 void Server::preload() {
-  for (const std::string& spec : opts_.preload) scenarios_.resolve(spec);
+  // Warming the cache is the whole point; the handle itself is not needed.
+  for (const std::string& spec : opts_.preload) (void)scenarios_.resolve(spec);
 }
 
 Server::Response Server::handle_line(const std::string& line) {
@@ -256,7 +258,7 @@ int Server::serve_stdin() {
     // Greedily drain whatever the client already wrote (up to the batch
     // cap) so scripted request files dispatch in parallel, while a
     // one-request-at-a-time client still gets an immediate answer.
-    while (static_cast<int>(batch.size()) < opts_.batch &&
+    while (util::checked_cast<int>(batch.size()) < opts_.batch &&
            std::cin.rdbuf()->in_avail() > 0 && std::getline(std::cin, line))
       batch.push_back(line);
     std::string out;
@@ -305,7 +307,7 @@ int Server::serve_unix_socket() {
         buffer.append(chunk, static_cast<std::size_t>(n));
       }
       std::vector<std::string> batch;
-      while (static_cast<int>(batch.size()) < opts_.batch &&
+      while (util::checked_cast<int>(batch.size()) < opts_.batch &&
              (nl = buffer.find('\n')) != std::string::npos) {
         batch.push_back(buffer.substr(0, nl));
         buffer.erase(0, nl + 1);

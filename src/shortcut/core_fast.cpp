@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "shortcut/tree_ops.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -56,7 +57,7 @@ class SampledStreamProcess final : public congest::Process {
   bool unusable = false;
 
   void on_start(Context& ctx) override {
-    pending_children_ = static_cast<int>(
+    pending_children_ = util::checked_cast<int>(
         tree_.children_edges[static_cast<std::size_t>(id_)].size());
     if (pending_children_ == 0) begin_streaming(ctx);
   }
@@ -65,8 +66,8 @@ class SampledStreamProcess final : public congest::Process {
     for (const auto& in : inbox) {
       switch (in.msg.tag) {
         case kId:
-          if (static_cast<std::int32_t>(ids_.size()) < threshold_)
-            ids_.insert(static_cast<PartId>(in.msg.words[0]));
+          if (util::checked_cast<std::int32_t>(ids_.size()) < threshold_)
+            ids_.insert(util::checked_cast<PartId>(in.msg.words[0]));
           else
             saturated_ = true;
           break;
@@ -89,7 +90,7 @@ class SampledStreamProcess final : public congest::Process {
     streaming_ = true;
     // Unusable when the count of distinct active ids reaches the threshold.
     if (saturated_ ||
-        static_cast<std::int32_t>(ids_.size()) >= threshold_) {
+        util::checked_cast<std::int32_t>(ids_.size()) >= threshold_) {
       unusable = true;
     } else {
       to_send_ = ids_.values();
@@ -146,7 +147,7 @@ class RouteAllProcess final : public congest::Process {
 
   void on_round(Context& ctx, std::span<const Incoming> inbox) override {
     for (const auto& in : inbox) {
-      const auto j = static_cast<PartId>(in.msg.words[0]);
+      const auto j = util::checked_cast<PartId>(in.msg.words[0]);
       if (known_.insert(j)) unforwarded_.push(j);
     }
     forward(ctx);
@@ -193,7 +194,7 @@ CoreResult core_fast(congest::Network& net, const SpanningTree& tree,
   const auto seeds = broadcast_word_from_root(net, tree, params.seed);
 
   const double p = core_fast_sampling_probability(n, params.c, params.gamma);
-  const auto threshold = static_cast<std::int32_t>(
+  const auto threshold = util::checked_trunc<std::int32_t>(
       std::max(1.0, std::ceil(4.0 * static_cast<double>(params.c) * p)));
 
   // Phase 2: stream sampled ids bottom-up to find the unusable edges.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -30,7 +31,7 @@ class CoreSlowProcess final : public congest::Process {
   std::vector<PartId> assigned;  ///< ids on the parent edge (usable only)
 
   void on_start(Context& ctx) override {
-    pending_children_ = static_cast<int>(
+    pending_children_ = util::checked_cast<int>(
         tree_.children_edges[static_cast<std::size_t>(id_)].size());
     if (pending_children_ == 0) begin_streaming(ctx);
   }
@@ -39,10 +40,10 @@ class CoreSlowProcess final : public congest::Process {
     for (const auto& in : inbox) {
       switch (in.msg.tag) {
         case kId: {
-          const auto j = static_cast<PartId>(in.msg.words[0]);
+          const auto j = util::checked_cast<PartId>(in.msg.words[0]);
           // Cap the stored set just above the threshold: once the edge is
           // over budget the exact surplus no longer matters.
-          if (static_cast<std::int32_t>(ids_.size()) <= threshold_)
+          if (util::checked_cast<std::int32_t>(ids_.size()) <= threshold_)
             ids_.insert(j);
           break;
         }
@@ -63,7 +64,7 @@ class CoreSlowProcess final : public congest::Process {
  private:
   void begin_streaming(Context& ctx) {
     streaming_ = true;
-    if (static_cast<std::int32_t>(ids_.size()) > threshold_) {
+    if (util::checked_cast<std::int32_t>(ids_.size()) > threshold_) {
       unusable = true;
     } else {
       assigned.assign(ids_.begin(), ids_.end());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -40,7 +41,7 @@ Shortcut greedy_blocked_shortcut(const Graph& g, const SpanningTree& tree,
 
     const EdgeId pe = tree.parent_edge[static_cast<std::size_t>(v)];
     if (pe == kNoEdge) continue;
-    if (static_cast<std::int32_t>(ids.size()) > threshold) {
+    if (util::checked_cast<std::int32_t>(ids.size()) > threshold) {
       // Unusable: nothing propagates past this edge.
       continue;
     }

@@ -8,6 +8,7 @@
 #include "shortcut/superstep.h"
 #include "shortcut/tree_ops.h"
 #include "shortcut/verification.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -17,7 +18,7 @@ namespace {
 
 std::int32_t auto_iteration_cap(PartId num_parts) {
   const double log_n = std::log2(std::max<double>(2.0, num_parts));
-  return static_cast<std::int32_t>(2.0 * log_n) + 8;
+  return util::checked_trunc<std::int32_t>(2.0 * log_n) + 8;
 }
 
 /// One full attempt with fixed (c, b). Returns the combined shortcut or

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -58,7 +59,7 @@ congest::PerNode<NodeId> elect_part_leaders(
   for (NodeId v = 0; v < net.num_nodes(); ++v) {
     if (partition.part(v) != kNoPart)
       leaders[static_cast<std::size_t>(v)] =
-          static_cast<NodeId>(mins[static_cast<std::size_t>(v)]);
+          util::checked_cast<NodeId>(mins[static_cast<std::size_t>(v)]);
   }
   return leaders;
 }

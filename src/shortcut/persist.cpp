@@ -9,6 +9,7 @@
 
 #include "graph/io.h"
 #include "util/bytes.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -98,8 +99,8 @@ std::string encode_shortcut_record(const ShortcutRunRecord& record) {
   for (std::size_t e = 0; e < record.shortcut.parts_on_edge.size(); ++e) {
     const auto& parts = record.shortcut.parts_on_edge[e];
     if (parts.empty()) continue;
-    w.put_i32(static_cast<EdgeId>(e));
-    w.put_u32(static_cast<std::uint32_t>(parts.size()));
+    w.put_i32(util::checked_cast<EdgeId>(e));
+    w.put_u32(util::checked_cast<std::uint32_t>(parts.size()));
     for (const PartId p : parts) w.put_i32(p);
   }
 
@@ -114,7 +115,7 @@ std::string encode_shortcut_record(const ShortcutRunRecord& record) {
   w.put_i64(record.algo_rounds);
   w.put_i64(record.algo_messages);
 
-  w.put_u32(static_cast<std::uint32_t>(record.charges.size()));
+  w.put_u32(util::checked_cast<std::uint32_t>(record.charges.size()));
   for (const auto& [label, rounds] : record.charges) {
     w.put_string(label);
     w.put_i64(rounds);

@@ -70,15 +70,15 @@ struct ShortcutRunRecord {
 /// Rebuild a full SpanningTree from its parent-edge array (parents, depths,
 /// children lists — children sorted by edge id — and the finalize lookups).
 /// Throws CheckFailure unless the edges form a rooted spanning tree of `g`.
-SpanningTree tree_from_parent_edges(const Graph& g, NodeId root,
+[[nodiscard]] SpanningTree tree_from_parent_edges(const Graph& g, NodeId root,
                                     std::vector<EdgeId> parent_edge);
 
-std::string encode_shortcut_record(const ShortcutRunRecord& record);
+[[nodiscard]] std::string encode_shortcut_record(const ShortcutRunRecord& record);
 
 /// Decode against the graph the record was built for; validates every
 /// id against `g` and the key fields against `expect_spec_hash` /
 /// `expect_partition_hash` (pass the hashes of the scenario being served).
-ShortcutRunRecord decode_shortcut_record(std::string_view bytes,
+[[nodiscard]] ShortcutRunRecord decode_shortcut_record(std::string_view bytes,
                                          const Graph& g,
                                          std::uint64_t expect_spec_hash,
                                          std::uint64_t expect_partition_hash);
@@ -86,7 +86,7 @@ ShortcutRunRecord decode_shortcut_record(std::string_view bytes,
 /// Atomic file wrappers (magic + version + encode/decode payload).
 void save_shortcut_record(const ShortcutRunRecord& record,
                           const std::string& path);
-ShortcutRunRecord load_shortcut_record(const std::string& path, const Graph& g,
+[[nodiscard]] ShortcutRunRecord load_shortcut_record(const std::string& path, const Graph& g,
                                        std::uint64_t expect_spec_hash,
                                        std::uint64_t expect_partition_hash);
 

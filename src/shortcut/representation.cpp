@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "shortcut/tree_routing.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -36,7 +37,7 @@ ShortcutState compute_shortcut_state(congest::Network& net,
   };
   auto on_receive = [&](NodeId v, PartId j, std::uint64_t value,
                         std::int32_t root_depth) {
-    const auto root = static_cast<NodeId>(value);
+    const auto root = util::checked_cast<NodeId>(value);
     const EdgeId pe = tree.parent_edge[static_cast<std::size_t>(v)];
     if (pe != kNoEdge) {
       const auto& list =

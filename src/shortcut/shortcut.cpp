@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "graph/union_find.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -17,7 +18,7 @@ bool Shortcut::edge_used_by(EdgeId e, PartId i) const {
 std::vector<std::vector<EdgeId>> Shortcut::edges_of_parts(
     PartId num_parts) const {
   std::vector<std::vector<EdgeId>> result(static_cast<std::size_t>(num_parts));
-  for (EdgeId e = 0; e < static_cast<EdgeId>(parts_on_edge.size()); ++e) {
+  for (EdgeId e = 0; e < util::checked_cast<EdgeId>(parts_on_edge.size()); ++e) {
     for (const PartId i : parts_on_edge[static_cast<std::size_t>(e)])
       result[static_cast<std::size_t>(i)].push_back(e);
   }
@@ -46,7 +47,7 @@ std::int32_t congestion(const Graph& g, const Partition& p,
   std::int32_t worst = 0;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& list = s.parts_on_edge[static_cast<std::size_t>(e)];
-    auto count = static_cast<std::int32_t>(list.size());
+    auto count = util::checked_cast<std::int32_t>(list.size());
     const auto& ed = g.edge(e);
     const PartId pu = p.part(ed.u);
     // e ∈ G[Pi] iff both endpoints belong to the same part i.
@@ -105,7 +106,7 @@ std::int32_t count_block_components(const Graph& g, const PartView& view) {
     roots.push_back(uf.find(local_index(view.nodes, v)));
   std::sort(roots.begin(), roots.end());
   roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
-  return static_cast<std::int32_t>(roots.size());
+  return util::checked_cast<std::int32_t>(roots.size());
 }
 
 /// Local adjacency of G[Pi] + Hi over view.nodes indices.

@@ -1,6 +1,7 @@
 #include "shortcut/superstep.h"
 
 #include "shortcut/tree_routing.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -35,7 +36,7 @@ class PartExchangeProcess final : public congest::Process {
         if (nbs[k].edge == in.edge) {
           out_[k] = in.msg.words[0] == 0
                         ? kNoPart
-                        : static_cast<PartId>(in.msg.words[0] - 1);
+                        : util::checked_cast<PartId>(in.msg.words[0] - 1);
           break;
         }
       }

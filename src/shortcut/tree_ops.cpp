@@ -1,5 +1,6 @@
 #include "shortcut/tree_ops.h"
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -51,7 +52,7 @@ class GlobalOrProcess final : public congest::Process {
   bool result = false;
 
   void on_start(Context& ctx) override {
-    pending_ = static_cast<int>(
+    pending_ = util::checked_cast<int>(
         tree_.children_edges[static_cast<std::size_t>(id_)].size());
     maybe_send_up(ctx);
   }

@@ -1,9 +1,10 @@
 #include "shortcut/tree_routing.h"
 
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -101,9 +102,9 @@ class BroadcastProcess final : public congest::Process {
 
   void on_round(Context& ctx, std::span<const Incoming> inbox) override {
     for (const auto& in : inbox) {
-      const auto j = static_cast<PartId>(in.msg.words[0]);
+      const auto j = util::checked_cast<PartId>(in.msg.words[0]);
       const std::uint64_t value = in.msg.words[1];
-      const auto rd = static_cast<std::int32_t>(in.msg.words[2]);
+      const auto rd = util::checked_cast<std::int32_t>(in.msg.words[2]);
       on_receive_(id_, j, value, rd);
       enqueue_down(j, value, rd);
     }
@@ -140,7 +141,10 @@ class BroadcastProcess final : public congest::Process {
   const std::function<void(NodeId, PartId, std::uint64_t, std::int32_t)>&
       on_receive_;
   RoutingPriority priority_;
-  std::unordered_map<EdgeId, PendingQueue> queues_;
+  // Ordered by EdgeId: flush() walks this map, so its iteration order is
+  // the per-round send order across contested edges and must be a program
+  // order, not a hash order.
+  std::map<EdgeId, PendingQueue> queues_;
   std::uint64_t seq_ = 0;
 };
 
@@ -198,7 +202,7 @@ class ConvergecastProcess final : public congest::Process {
 
   void on_round(Context& ctx, std::span<const Incoming> inbox) override {
     for (const auto& in : inbox) {
-      const auto j = static_cast<PartId>(in.msg.words[0]);
+      const auto j = util::checked_cast<PartId>(in.msg.words[0]);
       auto it = state_.find(j);
       LCS_CHECK(it != state_.end(), "convergecast message for unknown id");
       it->second.acc = combine_(it->second.acc, in.msg.words[1]);
@@ -248,7 +252,10 @@ class ConvergecastProcess final : public congest::Process {
   const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine_;
   const std::function<void(NodeId, PartId, std::uint64_t)>& on_root_result_;
   RoutingPriority priority_;
-  std::unordered_map<PartId, CompState> state_;
+  // Ordered by PartId: check_ready() walks this map assigning seq_ — the
+  // kFifo scheduling key — so simultaneously-ready components must
+  // dispatch in part order, not hash order.
+  std::map<PartId, CompState> state_;
   PendingQueue queue_;
   std::uint64_t seq_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -28,7 +29,7 @@ class BfsProcess final : public congest::Process {
   void on_start(Context& ctx) override {
     if (id_ != root_) return;
     depth = 0;
-    pending_replies_ = static_cast<int>(ctx.neighbors().size());
+    pending_replies_ = util::checked_cast<int>(ctx.neighbors().size());
     for (const auto& nb : ctx.neighbors())
       ctx.send(nb.edge, Message(kExplore, 0));
     maybe_finish(ctx);
@@ -69,7 +70,7 @@ class BfsProcess final : public congest::Process {
           if (e->edge < chosen->edge) chosen = e;
         parent_edge = chosen->edge;
         parent = chosen->from;
-        depth = static_cast<std::int32_t>(chosen->msg.words[0]) + 1;
+        depth = util::checked_cast<std::int32_t>(chosen->msg.words[0]) + 1;
         adopted_this_round = true;
         ctx.send(parent_edge, Message(kAccept));
         for (const auto* e : explorers) {

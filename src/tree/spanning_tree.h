@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/cast.h"
 
 namespace lcs {
 
@@ -32,7 +33,7 @@ struct SpanningTree {
   /// graph diameter; the paper denotes both by D.
   std::int32_t height = 0;
 
-  NodeId num_nodes() const { return static_cast<NodeId>(depth.size()); }
+  NodeId num_nodes() const { return util::checked_cast<NodeId>(depth.size()); }
 
   /// True if `e` is one of the tree's parent/child edges.
   bool is_tree_edge(EdgeId e) const {

@@ -17,25 +17,26 @@
 #include <string>
 #include <string_view>
 
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
 
 class ByteWriter {
  public:
-  void put_u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void put_u8(std::uint8_t v) { bytes_.push_back(util::truncate_cast<char>(v)); }
 
   void put_u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i)
-      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+      bytes_.push_back(util::truncate_cast<char>((v >> (8 * i)) & 0xff));
   }
 
   void put_u64(std::uint64_t v) {
     for (int i = 0; i < 8; ++i)
-      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+      bytes_.push_back(util::truncate_cast<char>((v >> (8 * i)) & 0xff));
   }
 
-  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_i32(std::int32_t v) { put_u32(util::truncate_cast<std::uint32_t>(v)); }
   void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
 
   /// u64 byte length followed by the raw bytes.
@@ -44,8 +45,8 @@ class ByteWriter {
     bytes_.append(s.data(), s.size());
   }
 
-  const std::string& bytes() const { return bytes_; }
-  std::string take() { return std::move(bytes_); }
+  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+  [[nodiscard]] std::string take() { return std::move(bytes_); }
 
  private:
   std::string bytes_;
@@ -58,41 +59,41 @@ class ByteReader {
   ByteReader(std::string_view data, std::string context)
       : data_(data), context_(std::move(context)) {}
 
-  std::uint8_t get_u8(const char* what) {
+  [[nodiscard]] std::uint8_t get_u8(const char* what) {
     need(1, what);
-    return static_cast<std::uint8_t>(data_[pos_++]);
+    return util::truncate_cast<std::uint8_t>(data_[pos_++]);
   }
 
-  std::uint32_t get_u32(const char* what) {
+  [[nodiscard]] std::uint32_t get_u32(const char* what) {
     need(4, what);
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
+      v |= util::truncate_cast<std::uint32_t>(
+               util::truncate_cast<unsigned char>(data_[pos_ + i]))
            << (8 * i);
     pos_ += 4;
     return v;
   }
 
-  std::uint64_t get_u64(const char* what) {
+  [[nodiscard]] std::uint64_t get_u64(const char* what) {
     need(8, what);
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
       v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
+               util::truncate_cast<unsigned char>(data_[pos_ + i]))
            << (8 * i);
     pos_ += 8;
     return v;
   }
 
-  std::int32_t get_i32(const char* what) {
-    return static_cast<std::int32_t>(get_u32(what));
+  [[nodiscard]] std::int32_t get_i32(const char* what) {
+    return util::truncate_cast<std::int32_t>(get_u32(what));
   }
-  std::int64_t get_i64(const char* what) {
+  [[nodiscard]] std::int64_t get_i64(const char* what) {
     return static_cast<std::int64_t>(get_u64(what));
   }
 
-  std::string_view get_string(const char* what) {
+  [[nodiscard]] std::string_view get_string(const char* what) {
     const std::uint64_t len = get_u64(what);
     LCS_CHECK(len <= data_.size() - pos_,
               context_ + " truncated reading " + what + " (length " +
@@ -103,7 +104,7 @@ class ByteReader {
     return s;
   }
 
-  std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 
   /// Strict decoders call this last: trailing bytes mean the record and the
   /// decoder disagree about the layout — diagnosed, never ignored.

@@ -1,0 +1,81 @@
+/// \file cast.h
+/// Checked integer narrowing — the only blessed way to shrink an integer.
+///
+/// The lint rule S1 (see src/lint/README.md) forbids ad-hoc
+/// `static_cast<int>(...)`-style narrowing in the library, tools, and
+/// tests: a silent truncation turns an out-of-range size into a wrong
+/// answer instead of a diagnosis. Narrowing must route through one of:
+///
+///  * `checked_cast<To>(v)`   — LCS_CHECKs that `v` is representable in
+///    `To` and names the value and the target range on failure;
+///  * `checked_usize(v)`      — `checked_cast<std::size_t>`, the common
+///    signed-index-to-size_t direction (guards negatives);
+///  * `truncate_cast<To>(v)`  — *intentional* truncation (byte packing,
+///    hash mixing). No check; the call spells out that bits are meant to
+///    be dropped, so a reviewer never has to guess.
+///
+/// All three are constexpr and compile to the plain cast (plus, for the
+/// checked forms, one range compare) — cheap enough for hot paths, and
+/// consistent with the repo rule that invariant checks are never compiled
+/// out.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace lcs::util {
+
+/// Narrow `v` to `To`, LCS_CHECKing that the value survives the trip.
+/// The failure message names the value and the target type's range.
+template <class To, class From>
+constexpr To checked_cast(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_cast is for integer types only");
+  LCS_CHECK(std::in_range<To>(v),
+            "checked_cast: value " + std::to_string(v) +
+                " is outside the target range [" +
+                std::to_string(std::numeric_limits<To>::min()) + ", " +
+                std::to_string(std::numeric_limits<To>::max()) + "]");
+  return static_cast<To>(v);
+}
+
+/// `checked_cast<std::size_t>` — the common "signed index into a container
+/// size" direction; guards against negative values.
+template <class From>
+constexpr std::size_t checked_usize(From v) {
+  return checked_cast<std::size_t>(v);
+}
+
+/// Floating-point -> integer conversion with a range check: truncates
+/// toward zero (exactly like static_cast) after LCS_CHECKing the value
+/// fits `To`. NaN fails the check (comparisons with NaN are false). For
+/// the paper's round-budget formulas (`8 * log2(n) + 20`-style), where a
+/// silently wrapped budget would turn "did not converge" into an
+/// infinite loop or a bogus abort.
+template <class To>
+constexpr To checked_trunc(double v) {
+  static_assert(std::is_integral_v<To>,
+                "checked_trunc converts floating point to integers");
+  LCS_CHECK(v >= static_cast<double>(std::numeric_limits<To>::min()) &&
+                v <= static_cast<double>(std::numeric_limits<To>::max()),
+            "checked_trunc: value " + std::to_string(v) +
+                " does not fit the target integer type");
+  return static_cast<To>(v);
+}
+
+/// Intentional truncation: keep the low bits, drop the rest, on purpose.
+/// For byte codecs and hash mixing where masking is the point. Unsigned
+/// wrap-around semantics (the value is converted modulo 2^N).
+template <class To, class From>
+constexpr To truncate_cast(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "truncate_cast is for integer types only");
+  return static_cast<To>(v);
+}
+
+}  // namespace lcs::util

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include "util/cast.h"
 
 namespace lcs {
 
@@ -23,7 +24,7 @@ inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
 inline std::uint64_t fnv1a64(std::string_view bytes,
                              std::uint64_t h = kFnv1a64Offset) {
   for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
+    h ^= util::truncate_cast<unsigned char>(c);
     h *= kFnv1a64Prime;
   }
   return h;

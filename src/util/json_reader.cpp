@@ -1,3 +1,4 @@
+#include "util/cast.h"
 #include "util/json_reader.h"
 
 #include <charconv>
@@ -241,7 +242,7 @@ class Parser {
       if (done()) fail(std::string(what) + " is not terminated");
       const char c = text_[pos_++];
       if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20)
+      if (util::truncate_cast<unsigned char>(c) < 0x20)
         fail(std::string(what) +
              " contains an unescaped control character");
       if (c != '\\') { out.push_back(c); continue; }
@@ -268,9 +269,9 @@ class Parser {
     for (int i = 0; i < 4; ++i) {
       const char c = text_[pos_++];
       v <<= 4;
-      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
-      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
-      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      if (c >= '0' && c <= '9') v |= util::checked_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= util::checked_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= util::checked_cast<std::uint32_t>(c - 'A' + 10);
       else fail("\\u escape has a non-hex digit");
     }
     return v;
@@ -292,19 +293,19 @@ class Parser {
 
   static void append_utf8(std::uint32_t cp, std::string& out) {
     if (cp < 0x80) {
-      out.push_back(static_cast<char>(cp));
+      out.push_back(util::truncate_cast<char>(cp));
     } else if (cp < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      out.push_back(util::truncate_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(util::truncate_cast<char>(0x80 | (cp & 0x3F)));
     } else if (cp < 0x10000) {
-      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      out.push_back(util::truncate_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(util::truncate_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(util::truncate_cast<char>(0x80 | (cp & 0x3F)));
     } else {
-      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
-      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      out.push_back(util::truncate_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(util::truncate_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(util::truncate_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(util::truncate_cast<char>(0x80 | (cp & 0x3F)));
     }
   }
 

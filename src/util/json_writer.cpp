@@ -1,3 +1,4 @@
+#include "util/cast.h"
 #include "util/json_writer.h"
 
 #include <charconv>
@@ -23,7 +24,7 @@ void JsonWriter::write_escaped(std::string_view s) {
   static const char* hex = "0123456789abcdef";
   out_.put('"');
   for (const char ch : s) {
-    const unsigned char c = static_cast<unsigned char>(ch);
+    const unsigned char c = util::truncate_cast<unsigned char>(ch);
     switch (c) {
       case '"': out_ << "\\\""; break;
       case '\\': out_ << "\\\\"; break;

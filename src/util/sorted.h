@@ -1,0 +1,55 @@
+/// \file sorted.h
+/// The blessed sort-before-use idiom for unordered containers.
+///
+/// Lint rule D1 (src/lint/README.md) forbids iterating
+/// `std::unordered_map/set` anywhere else in the repo: hash iteration
+/// order is not a program order — it differs between standard libraries
+/// and with rehash history, so any observable fed from it silently breaks
+/// the bit-identical-everywhere guarantee. When a hash container is the
+/// right lookup structure but its contents must be walked, route the walk
+/// through these helpers: they materialize the elements and sort them by
+/// key, turning hash order back into a program order.
+///
+/// This file is the one place allowed to touch unordered iteration
+/// (allowlisted in the D1 rule), so the invariant "every iteration order
+/// in the repo is deterministic" stays machine-checked.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace lcs::util {
+
+/// All keys of an associative container, sorted ascending.
+template <class Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// All (key, value) pairs of a map, sorted ascending by key.
+template <class Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(m.size());
+  for (const auto& kv : m) items.emplace_back(kv.first, kv.second);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+/// All elements of a set-like container, sorted ascending.
+template <class Set>
+std::vector<typename Set::key_type> sorted_elements(const Set& s) {
+  std::vector<typename Set::key_type> out(s.begin(), s.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lcs::util

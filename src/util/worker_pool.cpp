@@ -1,3 +1,4 @@
+#include "util/cast.h"
 #include "util/worker_pool.h"
 
 #include <algorithm>
@@ -7,7 +8,7 @@ namespace lcs {
 int WorkerPool::resolve_threads(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return hw == 0 ? 1 : util::checked_cast<int>(hw);
 }
 
 WorkerPool::WorkerPool(int workers) : num_workers_(std::max(1, workers)) {

@@ -5,6 +5,7 @@
 #include "graph/metrics.h"
 #include "tree/bfs_tree.h"
 #include "tree/spanning_tree.h"
+#include "util/cast.h"
 
 namespace lcs {
 namespace {
@@ -49,7 +50,7 @@ TEST(BfsTree, RandomGraphsAcrossSeeds) {
 TEST(BfsTree, RandomTreesAcrossSeeds) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     expect_bfs_tree_correct(make_random_tree(150, seed),
-                            static_cast<NodeId>(seed * 7 % 150));
+                            util::checked_cast<NodeId>(seed * 7 % 150));
   }
 }
 

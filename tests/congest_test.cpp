@@ -5,6 +5,7 @@
 #include "congest/network.h"
 #include "graph/generators.h"
 #include "stress_util.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -99,7 +100,7 @@ class PingPongProcess final : public Process {
     ctx.send(ctx.neighbors().front().edge, Message(7));
   }
   void on_round(Context&, std::span<const Incoming> inbox) override {
-    received += static_cast<int>(inbox.size());
+    received += util::checked_cast<int>(inbox.size());
   }
 
  private:

@@ -12,6 +12,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/reference.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -123,9 +124,9 @@ TEST(VerifiedDynamicGraph, StressAgainstOraclesEveryStep) {
       vg.delete_edge(pick.u, pick.v);
     } else {
       const NodeId u =
-          static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+          util::checked_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
       const NodeId v =
-          static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+          util::checked_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
       if (u == v || vg.fast().has_edge(u, v)) continue;
       vg.insert_edge(u, v, 1 + rng.next_below(9));
     }

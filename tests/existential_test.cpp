@@ -4,6 +4,7 @@
 #include "shortcut/existential.h"
 #include "shortcut/shortcut.h"
 #include "tree/spanning_tree.h"
+#include "util/cast.h"
 
 namespace lcs {
 namespace {
@@ -41,7 +42,7 @@ TEST(Existential, GreedyRespectsThreshold) {
     for (const std::int32_t threshold : {1, 2, 5}) {
       const Shortcut s = greedy_blocked_shortcut(g, tree, p, threshold);
       for (EdgeId e = 0; e < g.num_edges(); ++e) {
-        EXPECT_LE(static_cast<std::int32_t>(
+        EXPECT_LE(util::checked_cast<std::int32_t>(
                       s.parts_on_edge[static_cast<std::size_t>(e)].size()),
                   threshold);
       }

@@ -7,6 +7,7 @@
 #include "shortcut/find_shortcut.h"
 #include "shortcut/shortcut.h"
 #include "test_util.h"
+#include "util/cast.h"
 
 namespace lcs {
 namespace {
@@ -30,7 +31,7 @@ void expect_theorem3(const Graph& g, const Partition& p,
             result.stats.iterations * per_iter + 1);
   // Iterations: O(log N) with decent slack.
   const double log_n = std::log2(std::max<double>(2.0, p.num_parts));
-  EXPECT_LE(result.stats.iterations, static_cast<std::int32_t>(2 * log_n) + 8);
+  EXPECT_LE(result.stats.iterations, util::checked_trunc<std::int32_t>(2 * log_n) + 8);
 }
 
 TEST(FindShortcut, GridWithRowPartsKnownParams) {

@@ -12,6 +12,7 @@
 #include "graph/graph.h"
 #include "graph/metrics.h"
 #include "graph/pair_hash_set.h"
+#include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -28,9 +29,9 @@ std::uint64_t edge_checksum(const Graph& g) {
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto& ed = g.edge(e);
     h = hash64(h,
-               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ed.u))
+               (static_cast<std::uint64_t>(util::checked_cast<std::uint32_t>(ed.u))
                 << 32) |
-                   static_cast<std::uint32_t>(ed.v));
+                   util::checked_cast<std::uint32_t>(ed.v));
     h = hash64(h, ed.w);
   }
   return h;
@@ -168,8 +169,8 @@ TEST(PairHashSet, MatchesTreeSetSemantics) {
   std::set<std::pair<NodeId, NodeId>> reference;
   Rng rng(31);
   for (int i = 0; i < 20000; ++i) {
-    const NodeId a = static_cast<NodeId>(rng.next_below(150));
-    const NodeId b = static_cast<NodeId>(rng.next_below(150));
+    const NodeId a = util::checked_cast<NodeId>(rng.next_below(150));
+    const NodeId b = util::checked_cast<NodeId>(rng.next_below(150));
     if (a == b) continue;
     const auto key = std::minmax(a, b);
     EXPECT_EQ(flat.insert(a, b),
@@ -266,7 +267,7 @@ TEST(RandomRegular, ExactDegreesConnectivityAndDeterminism) {
     SCOPED_TRACE("n=" + std::to_string(n) + " d=" + std::to_string(d));
     const Graph g = make_random_regular(n, d, 9);
     EXPECT_EQ(g.num_nodes(), n);
-    EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(n) * d / 2);
+    EXPECT_EQ(g.num_edges(), util::checked_cast<EdgeId>(n) * d / 2);
     for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d);
     EXPECT_TRUE(is_connected(g));
     expect_identical(g, make_random_regular(n, d, 9));

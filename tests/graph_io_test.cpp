@@ -9,6 +9,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -90,7 +91,7 @@ TEST(BinaryCache, RejectsUnknownVersion) {
   std::stringstream buf;
   write_binary(make_grid(3, 3), buf);
   std::string bytes = buf.str();
-  bytes[4] = static_cast<char>(kBinaryGraphVersion + 1);  // little-endian LSB
+  bytes[4] = util::truncate_cast<char>(kBinaryGraphVersion + 1);  // little-endian LSB
   std::stringstream corrupted(bytes);
   EXPECT_THROW(read_binary(corrupted), CheckFailure);
 }
@@ -129,7 +130,7 @@ TEST(BinaryCache, TruncationDiagnosisNamesTheEdge) {
   // EOF mid-way through edge 2's record (header is 28 bytes).
   std::stringstream truncated(bytes.substr(0, 28 + 2 * 16 + 7));
   try {
-    read_binary(truncated);
+    (void)read_binary(truncated);
     FAIL() << "truncated body parsed";
   } catch (const CheckFailure& e) {
     EXPECT_NE(std::string(e.what()).find("edge 2 of 4"), std::string::npos)

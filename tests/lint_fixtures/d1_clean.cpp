@@ -1,0 +1,16 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+#include <map>
+#include <unordered_map>
+
+#include "util/sorted.h"
+
+int fx() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 7;
+  int total = 0;
+  for (const int k : lcs::util::sorted_keys(counts)) total += k;
+  std::map<int, int> ordered;
+  for (const auto& kv : ordered) total += kv.second;
+  return total;
+}

@@ -1,0 +1,9 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: LINT:7
+#include <unordered_map>
+
+int fx() {
+  std::unordered_map<int, int> counts;
+  // lcs-lint: allow(D1) stale: the iteration below was rewritten long ago
+  return counts.empty() ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 1
+#include <unordered_map>
+
+bool fx() {
+  std::unordered_map<int, int> counts;
+  // lcs-lint: allow(D1) presence check only: result does not depend on order
+  return counts.begin() == counts.end();
+}

@@ -1,0 +1,13 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: D1:8 D1:9 D1:10
+#include <unordered_map>
+#include <unordered_set>
+
+void fx() {
+  std::unordered_map<int, int> counts;
+  for (const auto& kv : counts) (void)kv;
+  auto it = counts.begin();
+  std::unordered_map<int, int>::iterator jt = counts.end();
+  (void)it;
+  (void)jt;
+}

@@ -1,0 +1,7 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+#include "util/random.h"
+
+std::uint64_t fx() {
+  return lcs::hash64(42, 7, 0);
+}

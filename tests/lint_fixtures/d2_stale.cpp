@@ -1,0 +1,8 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: LINT:6
+
+int fx() {
+  // the timed block was deleted; the allow outlived it
+  // lcs-lint: allow(D2) wall_ms report field: explicitly timed
+  return 0;
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 1
+#include <chrono>
+
+double fx_wall_ms() {
+  // lcs-lint: allow(D2) wall_ms report field: explicitly timed, not logic
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: D2:7 D2:8
+#include <chrono>
+#include <cstdlib>
+
+long fx() {
+  const long a = std::rand();
+  const auto t0 = std::chrono::steady_clock::now();
+  return a + t0.time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+#include <set>
+
+// Key on stable ids, not addresses.
+std::set<int> order_by_id;
+int key_of(int node_id);

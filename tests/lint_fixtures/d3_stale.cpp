@@ -1,0 +1,6 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: LINT:5
+
+// The pointer-keyed map was replaced by id keys; the allow remains.
+// lcs-lint: allow(D3) arena diagnostics
+int arena_tag_for_id(int id);

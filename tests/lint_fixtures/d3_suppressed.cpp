@@ -1,0 +1,7 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 1
+#include <cstdint>
+
+// lcs-lint: allow(D3) debug-only arena diagnostics, never serialized
+std::uintptr_t arena_tag(const void* p);

@@ -1,0 +1,9 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: D3:6 D3:9
+#include <cstdint>
+#include <set>
+
+std::uintptr_t key_of(const int* p);
+
+// Ordering a set by raw pointer value: allocator-dependent.
+std::set<int*, std::less<int*>> order_by_address;

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: none
+#include <cstdint>
+#include <vector>
+
+double fx(const std::vector<std::int64_t>& xs) {
+  std::int64_t total = 0;
+  for (const std::int64_t x : xs) total += x;
+  return static_cast<double>(total);
+}

@@ -1,0 +1,9 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: LINT:6
+
+int fx(int a, int b) {
+  int total = a;
+  // lcs-lint: allow(D4) timing report field
+  total += b;
+  return total;
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 1
+
+double fx(double wall_ms_a, double wall_ms_b) {
+  double wall_ms = wall_ms_a;
+  // lcs-lint: allow(D4) timing report field: never compared to goldens
+  wall_ms += wall_ms_b;
+  return wall_ms;
+}

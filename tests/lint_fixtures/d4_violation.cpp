@@ -1,0 +1,11 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: D4:8 D4:10
+#include <numeric>
+#include <vector>
+
+double fx(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  (void)total;
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

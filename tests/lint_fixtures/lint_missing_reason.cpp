@@ -1,0 +1,7 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: LINT:5 S1:6
+
+int fx(long big) {
+  // lcs-lint: allow(S1)
+  return static_cast<int>(big);
+}

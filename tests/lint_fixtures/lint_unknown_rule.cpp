@@ -1,0 +1,7 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: LINT:5 S1:6
+
+int fx(long big) {
+  // lcs-lint: allow(Z9) no such rule
+  return static_cast<int>(big);
+}

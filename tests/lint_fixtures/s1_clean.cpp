@@ -1,0 +1,9 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+#include "util/cast.h"
+
+int fx(long big) {
+  const int a = lcs::util::checked_cast<int>(big);
+  const auto b = lcs::util::truncate_cast<unsigned char>(big);
+  return a + b;
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 1
+
+int fx(long big) {
+  // lcs-lint: allow(S1) value proven in range by the caller's LCS_CHECK
+  return static_cast<int>(big);
+}

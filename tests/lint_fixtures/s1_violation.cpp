@@ -1,0 +1,8 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: S1:5 S1:6
+
+int fx(long big) {
+  const int a = static_cast<int>(big);
+  const unsigned char b = static_cast<unsigned char>(big);
+  return a + b;
+}

@@ -1,0 +1,7 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+#include "util/worker_pool.h"
+
+void fx(lcs::WorkerPool& pool) {
+  pool.parallel_for(0, 8, [](int) {});
+}

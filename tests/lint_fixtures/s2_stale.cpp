@@ -1,0 +1,6 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: LINT:5
+
+void fx() {
+  // lcs-lint: allow(S2) the watchdog thread was removed
+}

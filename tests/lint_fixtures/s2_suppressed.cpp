@@ -1,0 +1,11 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 2
+// lcs-lint: allow(S2) fixture: exercising the include suppression path
+#include <thread>
+
+void fx() {
+  // lcs-lint: allow(S2) watchdog thread: joins before any observable
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: src/shortcut/fx.cpp
+// lint-fixture-expect: S2:3 S2:6
+#include <thread>
+
+void fx() {
+  std::thread t([] {});
+  t.join();
+}

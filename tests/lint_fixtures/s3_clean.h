@@ -1,0 +1,8 @@
+// lint-fixture-path: src/graph/io.h
+// lint-fixture-expect: none
+#include <string>
+
+namespace lcs {
+[[nodiscard]] bool write_graph(const std::string& path);
+void log_note(const std::string& text);
+}

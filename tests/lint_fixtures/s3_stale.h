@@ -1,0 +1,9 @@
+// lint-fixture-path: src/graph/io.h
+// lint-fixture-expect: LINT:7
+#include <string>
+
+namespace lcs {
+// the declaration below gained [[nodiscard]]; the allow was left behind
+// lcs-lint: allow(S3) fire-and-forget advisory write
+[[nodiscard]] bool try_touch(const std::string& path);
+}

@@ -1,0 +1,9 @@
+// lint-fixture-path: src/graph/io.h
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 1
+#include <string>
+
+namespace lcs {
+// lcs-lint: allow(S3) fire-and-forget advisory write; failure is benign
+bool try_touch(const std::string& path);
+}

@@ -1,0 +1,7 @@
+// lint-fixture-path: src/graph/io.h
+// lint-fixture-expect: S3:6
+#include <string>
+
+namespace lcs {
+bool write_graph(const std::string& path);
+}

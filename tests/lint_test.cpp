@@ -1,0 +1,134 @@
+/// \file lint_test.cpp
+/// Conformance tests for lcs_lint, driven by the self-describing fixture
+/// corpus in tests/lint_fixtures/ (see its README.md for the marker
+/// syntax). Each fixture declares the repo path it pretends to live at,
+/// the exact RULE:LINE findings it must produce, and how many allow()
+/// suppressions must be honored.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace lcs::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  std::string file;          ///< real on-disk fixture path
+  std::string pretend_path;  ///< path rule scoping matches against
+  std::string source;
+  std::vector<std::string> expect;  ///< "RULE:LINE", sorted
+  int suppressions = 0;
+};
+
+/// Pull `// lint-fixture-*:` markers out of a fixture's leading comments.
+Fixture parse_fixture(const fs::path& p) {
+  Fixture fx;
+  fx.file = p.string();
+  std::ifstream in(p, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  fx.source = buf.str();
+
+  std::stringstream lines(fx.source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto value_of = [&](const std::string& key) -> std::string {
+      const auto at = line.find(key);
+      if (at == std::string::npos) return {};
+      std::string v = line.substr(at + key.size());
+      const auto b = v.find_first_not_of(" \t");
+      if (b == std::string::npos) return {};
+      const auto e = v.find_last_not_of(" \t\r");
+      return v.substr(b, e - b + 1);
+    };
+    if (const std::string v = value_of("lint-fixture-path:"); !v.empty()) {
+      fx.pretend_path = v;
+    } else if (const std::string v = value_of("lint-fixture-expect:");
+               !v.empty()) {
+      if (v != "none") {
+        std::stringstream ss(v);
+        std::string item;
+        while (ss >> item) fx.expect.push_back(item);
+      }
+    } else if (const std::string v = value_of("lint-fixture-suppressions:");
+               !v.empty()) {
+      fx.suppressions = std::stoi(v);
+    }
+  }
+  std::sort(fx.expect.begin(), fx.expect.end());
+  return fx;
+}
+
+std::vector<fs::path> fixture_files() {
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(LCS_LINT_FIXTURE_DIR)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".cpp" || ext == ".h") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(LcsLint, FixtureCorpusMatchesExpectations) {
+  const std::vector<fs::path> files = fixture_files();
+  ASSERT_FALSE(files.empty()) << "no fixtures under " << LCS_LINT_FIXTURE_DIR;
+
+  for (const fs::path& p : files) {
+    const Fixture fx = parse_fixture(p);
+    ASSERT_FALSE(fx.pretend_path.empty())
+        << p << " is missing its lint-fixture-path marker";
+
+    int used = 0;
+    const std::vector<Finding> findings =
+        lint_source(fx.pretend_path, fx.source, &used);
+
+    std::vector<std::string> got;
+    std::string rendered;
+    for (const Finding& f : findings) {
+      got.push_back(f.rule + ":" + std::to_string(f.line));
+      rendered += "  " + format_finding(f) + "\n";
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, fx.expect) << p << " findings:\n" << rendered;
+    EXPECT_EQ(used, fx.suppressions) << p;
+  }
+}
+
+TEST(LcsLint, EveryRuleHasAViolationFixture) {
+  std::set<std::string> covered;
+  for (const fs::path& p : fixture_files()) {
+    for (const std::string& e : parse_fixture(p).expect)
+      covered.insert(e.substr(0, e.find(':')));
+  }
+  for (const RuleInfo& r : rule_table()) {
+    EXPECT_TRUE(covered.count(std::string(r.id)) > 0)
+        << "no fixture exercises rule " << r.id;
+  }
+  EXPECT_TRUE(covered.count("LINT") > 0)
+      << "no fixture exercises the pass-hygiene LINT findings";
+}
+
+TEST(LcsLint, RealRunsSkipTheFixtureCorpus) {
+  // The corpus deliberately violates every rule; the repo-wide walk must
+  // never pick it up.
+  const LintResult result = lint_paths({LCS_LINT_FIXTURE_DIR});
+  EXPECT_EQ(result.files_scanned, 0);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LcsLint, FormatFindingIsStable) {
+  const Finding f{"src/x.cpp", 12, 3, "D1", "msg", "do this"};
+  EXPECT_EQ(format_finding(f), "src/x.cpp:12:3: D1: msg (fix: do this)");
+}
+
+}  // namespace
+}  // namespace lcs::lint

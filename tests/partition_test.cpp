@@ -5,6 +5,7 @@
 #include "graph/generators.h"
 #include "graph/metrics.h"
 #include "graph/partition.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -112,7 +113,7 @@ TEST(Partition, LowerBoundPartitionPathsAreParts) {
   EXPECT_EQ(p.num_parts, paths);
   validate_partition(g, p);
   // Tree nodes stay unassigned.
-  const auto assigned = static_cast<NodeId>(
+  const auto assigned = util::checked_cast<NodeId>(
       std::count_if(p.part_of.begin(), p.part_of.end(),
                     [](PartId i) { return i != kNoPart; }));
   EXPECT_EQ(assigned, paths * len);

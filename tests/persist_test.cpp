@@ -9,6 +9,7 @@
 #include "shortcut/persist.h"
 #include "shortcut/shortcut.h"
 #include "tree/spanning_tree.h"
+#include "util/cast.h"
 #include "util/check.h"
 
 namespace lcs {
@@ -27,7 +28,7 @@ ShortcutRunRecord sample_record(const scenario::Scenario& sc) {
   for (EdgeId e = 0; e < sc.graph.num_edges() && placed < 3; ++e) {
     if (!rec.tree.is_tree_edge(e)) continue;
     const PartId other =
-        static_cast<PartId>(1 + placed % (sc.partition.num_parts - 1));
+        util::checked_cast<PartId>(1 + placed % (sc.partition.num_parts - 1));
     rec.shortcut.parts_on_edge[e] = {0, other};
     ++placed;
   }
@@ -166,13 +167,13 @@ TEST(ShortcutRecord, FileRoundTripAndVersionRejection) {
     bytes.assign(std::istreambuf_iterator<char>(in),
                  std::istreambuf_iterator<char>());
   }
-  bytes[4] = static_cast<char>(kShortcutRecordVersion + 1);
+  bytes[4] = util::truncate_cast<char>(kShortcutRecordVersion + 1);
   {
     std::ofstream out(path, std::ios::binary);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   try {
-    load_shortcut_record(path, sc.graph, rec.spec_hash, rec.partition_hash);
+    (void)load_shortcut_record(path, sc.graph, rec.spec_hash, rec.partition_hash);
     FAIL() << "future version parsed";
   } catch (const CheckFailure& e) {
     EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)

@@ -16,6 +16,7 @@
 #include "shortcut/shortcut.h"
 #include "shortcut/superstep.h"
 #include "test_util.h"
+#include "util/cast.h"
 
 namespace lcs {
 namespace {
@@ -131,7 +132,7 @@ TEST_P(PipelineProperty, Theorem3EndToEnd) {
   const double log_n =
       std::log2(std::max<double>(2.0, sc.partition.num_parts));
   EXPECT_LE(c, (8 * found.stats.used_c + 1) *
-                   (static_cast<std::int32_t>(2 * log_n) + 8));
+                   (util::checked_trunc<std::int32_t>(2 * log_n) + 8));
 
   // Lemma 1: dilation bounded (and finite — every subgraph connected).
   const std::int32_t d =
@@ -209,8 +210,9 @@ TEST_P(ExistentialProperty, GreedyGeometryInvariants) {
     EXPECT_LE(point.congestion, point.threshold + 1);
     // Lemma 1 holds for every sweep point too.
     const std::int32_t d = dilation_estimate(sc.graph, sc.partition, s);
-    if (d != std::numeric_limits<std::int32_t>::max())
+    if (d != std::numeric_limits<std::int32_t>::max()) {
       EXPECT_LE(d, lemma1_dilation_bound(tree, point.block));
+    }
   }
 }
 

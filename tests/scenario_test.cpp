@@ -240,10 +240,12 @@ TEST(Registry, FileScenarioDiagnosesMissingAndDisconnected) {
 
 TEST(Registry, RegisterFamilyRejectsDuplicates) {
   EXPECT_THROW(scenario::register_family(
-                   {"grid", "", "", [](scenario::SpecArgs&) {
+                   {"grid", "", "",
+                    [](scenario::SpecArgs&) {
                       return scenario::FamilyResult{make_scenario("path:n=2").graph,
                                                     std::nullopt};
-                    }}),
+                    },
+                    /*param_keys=*/{}}),
                CheckFailure);
 }
 

@@ -89,7 +89,7 @@ TEST(ScenarioCache, CorruptEntryDegradesToRegeneration) {
   const std::string dir = fresh_dir("lcs_scen_cache_bad");
   {
     serve::ScenarioCache cache(dir);
-    cache.resolve("grid:w=5,h=5");
+    (void)cache.resolve("grid:w=5,h=5");  // warm / regenerate the entry
   }
   // Truncate the one cache file: a torn/corrupt entry.
   std::string entry;
@@ -108,7 +108,7 @@ TEST(ScenarioCache, CorruptEntryDegradesToRegeneration) {
   // The regeneration rewrote the entry: next start is warm again.
   {
     serve::ScenarioCache cache(dir);
-    cache.resolve("grid:w=5,h=5");
+    (void)cache.resolve("grid:w=5,h=5");  // warm / regenerate the entry
     EXPECT_EQ(cache.stats().disk_loads, 1);
     EXPECT_EQ(cache.stats().generated, 0);
   }

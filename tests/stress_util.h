@@ -15,6 +15,7 @@
 
 #include "congest/network.h"
 #include "graph/graph.h"
+#include "util/cast.h"
 
 namespace lcs::testutil {
 
@@ -66,7 +67,7 @@ struct StressBehavior {
               modulus ==
           0) {
         send(nb.edge,
-             congest::Message(static_cast<std::uint32_t>(v),
+             congest::Message(util::checked_cast<std::uint32_t>(v),
                               static_cast<std::uint64_t>(round + 2),
                               static_cast<std::uint64_t>(nb.edge)));
       }

@@ -7,6 +7,7 @@
 #include "shortcut/representation.h"
 #include "shortcut/tree_routing.h"
 #include "test_util.h"
+#include "util/cast.h"
 
 namespace lcs {
 namespace {
@@ -29,7 +30,7 @@ struct Scenario {
     for (EdgeId e = 0; e < g.num_edges(); ++e)
       max_ids_per_edge = std::max(
           max_ids_per_edge,
-          static_cast<std::int32_t>(
+          util::checked_cast<std::int32_t>(
               s.parts_on_edge[static_cast<std::size_t>(e)].size()));
   }
 };
@@ -127,6 +128,49 @@ TEST(TreeRouting, ConvergecastMinFindsComponentMinimum) {
   }
 }
 
+TEST(TreeRouting, FifoDispatchesSimultaneouslyReadyComponentsInPartOrder) {
+  // Regression test: ConvergecastProcess assigns the kFifo scheduling key
+  // (seq_) by walking its per-component state map when several components
+  // become ready in the same round, so that walk is part of the observable
+  // schedule. It used to be an unordered_map, whose iteration order is a
+  // standard-library artifact — reproducible on one platform, different on
+  // another. Pin the contract: simultaneously-ready components dispatch in
+  // ascending PartId order.
+  const Graph g = make_path(3);  // 0 - 1 - 2, rooted at 0
+  Sim setup(g);
+  constexpr PartId kParts = 10;
+
+  // Hand-built shortcut: every part rides every tree edge, so the leaf
+  // (node 2) participates in all ten components and — having no children —
+  // finds all ten ready at once in on_start.
+  Shortcut s;
+  s.parts_on_edge.assign(static_cast<std::size_t>(g.num_edges()), {});
+  std::vector<std::vector<std::int32_t>> root_depth(
+      static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (PartId j = 0; j < kParts; ++j) {
+      s.parts_on_edge[static_cast<std::size_t>(e)].push_back(j);
+      root_depth[static_cast<std::size_t>(e)].push_back(0);  // root: node 0
+    }
+  }
+
+  std::vector<PartId> order;
+  run_component_convergecast(
+      setup.net, setup.tree, s, root_depth,
+      [](NodeId v, PartId) { return static_cast<std::uint64_t>(v); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      [&](NodeId root, PartId j, std::uint64_t agg) {
+        EXPECT_EQ(root, 0);
+        EXPECT_EQ(agg, 3u);  // contributions 0 + 1 + 2
+        order.push_back(j);
+      },
+      RoutingPriority::kFifo);
+
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kParts));
+  for (PartId j = 0; j < kParts; ++j)
+    EXPECT_EQ(order[static_cast<std::size_t>(j)], j) << "dispatch position " << j;
+}
+
 TEST(TreeRouting, Lemma2RoundBound) {
   // Rounds of a parallel broadcast/convergecast stay O(D + c): test with
   // slack factor 2 across families and congestion levels.
@@ -159,7 +203,7 @@ TEST(TreeRouting, FullAncestorBroadcastCongestionStress) {
   const Shortcut s = full_ancestor_shortcut(g, setup.tree, p);
   std::int32_t c = 0;
   for (EdgeId e = 0; e < g.num_edges(); ++e)
-    c = std::max(c, static_cast<std::int32_t>(
+    c = std::max(c, util::checked_cast<std::int32_t>(
                         s.parts_on_edge[static_cast<std::size_t>(e)].size()));
 
   const std::int64_t before = setup.net.total_rounds();

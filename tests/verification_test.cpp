@@ -8,6 +8,7 @@
 #include "shortcut/superstep.h"
 #include "shortcut/verification.h"
 #include "test_util.h"
+#include "util/cast.h"
 
 namespace lcs {
 namespace {
@@ -107,7 +108,7 @@ TEST(Verification, RoundsWithinLemma6Bound) {
   const Shortcut s = greedy_blocked_shortcut(g, setup.tree, p, 3);
   std::int32_t c = 1;
   for (EdgeId e = 0; e < g.num_edges(); ++e)
-    c = std::max(c, static_cast<std::int32_t>(
+    c = std::max(c, util::checked_cast<std::int32_t>(
                         s.parts_on_edge[static_cast<std::size_t>(e)].size()));
   const ShortcutState state =
       compute_shortcut_state(setup.net, setup.tree, p, s);

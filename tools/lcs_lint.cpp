@@ -1,0 +1,65 @@
+/// \file lcs_lint.cpp
+/// CLI for the repo's determinism & safety static-analysis pass.
+///
+///   lcs_lint [--list-rules] <path>...
+///
+/// Lints every .cpp/.h under the given files/directories (recursively,
+/// skipping the lint_fixtures corpus) and prints one line per finding:
+///
+///   file:line:col: RULE: message (fix: hint)
+///
+/// Exit code 0 = clean, 1 = findings (including stale suppressions),
+/// 2 = usage error. The rule table, rationale, and suppression syntax are
+/// documented in src/lint/README.md; the same binary runs as the
+/// `lcs_lint` ctest and in the static-analysis CI job, and locally via
+/// tools/lint_all.sh.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : lcs::lint::rule_table())
+        std::printf("%-4s %s\n", std::string(r.id).c_str(),
+                    std::string(r.summary).c_str());
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: lcs_lint [--list-rules] <path>...\n");
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lcs_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: lcs_lint [--list-rules] <path>...\n");
+    return 2;
+  }
+  // A typo'd path would otherwise scan zero files and "pass" — in CI that
+  // silently disables the gate.
+  for (const std::string& p : paths) {
+    if (!std::filesystem::exists(p)) {
+      std::fprintf(stderr, "lcs_lint: no such path '%s'\n", p.c_str());
+      return 2;
+    }
+  }
+
+  const lcs::lint::LintResult result = lcs::lint::lint_paths(paths);
+  for (const auto& f : result.findings)
+    std::printf("%s\n", lcs::lint::format_finding(f).c_str());
+  std::fprintf(stderr,
+               "lcs_lint: %d file(s) scanned, %zu finding(s), %d "
+               "suppression(s) honored\n",
+               result.files_scanned, result.findings.size(),
+               result.suppressions_used);
+  return result.findings.empty() ? 0 : 1;
+}
