@@ -20,7 +20,9 @@
 #include "graph/metrics.h"
 #include "graph/reference.h"
 #include "mst/boruvka_shortcut.h"
+#include "shortcut/backend/backend.h"
 #include "shortcut/find_shortcut.h"
+#include "shortcut/quality.h"
 #include "shortcut/shortcut.h"
 #include "tree/bfs_tree.h"
 #include "util/cast.h"
@@ -236,27 +238,29 @@ RunReport run_aggregate(congest::Network& net, const SpanningTree& tree,
 
 // --------------------------------------------------------------- shortcut --
 
-/// Cold `--algo=shortcut` path: run the engine construction and capture
+/// Cold `--algo=shortcut` path: run the backend's construction and capture
 /// everything the report needs into a record. The BFS tree has already been
-/// built on `net` (its rounds are the setup accounting).
+/// built on `net` (its rounds are the setup accounting; centralized
+/// backends consume no further engine rounds).
 ShortcutRunRecord build_shortcut_record(congest::Network& net,
-                                        const SpanningTree& tree,
+                                        const SpanningTree& bfs_tree,
                                         const scenario::Scenario& sc,
-                                        const ShortcutCacheKey& key) {
+                                        const ShortcutCacheKey& key,
+                                        const backend::Backend& be) {
   ShortcutRunRecord rec;
   rec.spec_hash = key.spec_hash;
   rec.partition_hash = key.partition_hash;
   rec.seed = key.seed;
+  rec.backend = be.name;
   rec.setup_rounds = net.total_rounds();
   rec.setup_messages = net.total_messages();
 
-  FindShortcutParams params;
-  params.seed = key.seed;
-  FindShortcutResult found =
-      find_shortcut_doubling(net, tree, sc.partition, params);
-  rec.tree = tree;
-  rec.shortcut = std::move(found.state.shortcut);
-  rec.stats = found.stats;
+  backend::BackendOutput out =
+      be.construct({sc, net, bfs_tree, key.seed});
+  rec.tree = std::move(out.tree);
+  rec.shortcut = std::move(out.shortcut);
+  rec.stats = out.find_stats;
+  rec.backend_stats = std::move(out.stats);
   rec.algo_rounds = net.total_rounds() - rec.setup_rounds;
   rec.algo_messages = net.total_messages() - rec.setup_messages;
   for (const auto& [label, rounds] : net.charged_rounds())
@@ -266,7 +270,11 @@ ShortcutRunRecord build_shortcut_record(congest::Network& net,
 
 /// Render path shared by cold and warm runs: everything below is a pure
 /// function of the record and the scenario, so the response bytes cannot
-/// depend on which path produced the record.
+/// depend on which path produced the record. The shared quality block
+/// (congestion, block parameter, dilation estimate — plus the rounds and
+/// messages appended by run_one) uses identical keys for every backend;
+/// only the construction-specific prefix differs, so backend cells line up
+/// in sweeps and the comparison table.
 RunReport shortcut_report(const ShortcutRunRecord& rec,
                           const scenario::Scenario& sc, const RunOptions& o) {
   const FindShortcutStats stats = rec.stats;
@@ -275,13 +283,21 @@ RunReport shortcut_report(const ShortcutRunRecord& rec,
       block_parameter(sc.graph, sc.partition, rec.shortcut);
   const std::int32_t dil =
       dilation_estimate(sc.graph, sc.partition, rec.shortcut);
+  const bool default_backend = rec.backend == backend::kDefaultBackend;
+  const std::vector<std::pair<std::string, std::int64_t>> backend_stats =
+      rec.backend_stats;
 
   RunReport rep;
-  rep.result = [stats, cong, block, dil](JsonWriter& w) {
-    w.kv("trials", stats.trials);
-    w.kv("iterations", stats.iterations);
-    w.kv("used_c", stats.used_c);
-    w.kv("used_b", stats.used_b);
+  rep.result = [stats, cong, block, dil, default_backend,
+                backend_stats](JsonWriter& w) {
+    if (default_backend) {
+      w.kv("trials", stats.trials);
+      w.kv("iterations", stats.iterations);
+      w.kv("used_c", stats.used_c);
+      w.kv("used_b", stats.used_b);
+    } else {
+      for (const auto& [label, value] : backend_stats) w.kv(label, value);
+    }
     w.kv("congestion", cong);
     w.kv("block_parameter", block);
     w.kv("dilation_estimate", dil);
@@ -705,10 +721,31 @@ int run_one(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
   };
 
   RunReport rep;
+  const std::string backend_name =
+      o.backend.empty() ? std::string(backend::kDefaultBackend) : o.backend;
   if (o.algo == "shortcut") {
     have_engine = true;
+    const backend::Backend* be = backend::find_backend(backend_name);
+    LCS_CHECK(be != nullptr, "unknown --backend '" + backend_name +
+                                 "' (registered: " +
+                                 backend::registered_backend_names() + ")");
+    if (const std::string reason = be->applicable(sc); !reason.empty()) {
+      std::string msg = "backend '" + backend_name +
+                        "' is not applicable to scenario '" + sc.spec +
+                        "': " + reason +
+                        " (accepted backends for this scenario: ";
+      bool first = true;
+      for (const std::string& name : backend::applicable_backend_names(sc)) {
+        if (!first) msg += ", ";
+        msg += name;
+        first = false;
+      }
+      msg += ")";
+      LCS_CHECK(false, msg);
+    }
     ShortcutCacheKey key;
     key.seed = o.seed;
+    key.backend = backend_name;
     if (hooks.find_shortcut_record || hooks.store_shortcut_record) {
       key.spec_hash = spec_hash(sc.spec);
       key.partition_hash = partition_hash(sc.partition);
@@ -720,7 +757,7 @@ int run_one(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
       make_net();
       const SpanningTree tree = build_bfs_tree(*net, /*root=*/0);
       auto built = std::make_shared<ShortcutRunRecord>(
-          build_shortcut_record(*net, tree, sc, key));
+          build_shortcut_record(*net, tree, sc, key, *be));
       record = built;
       if (hooks.store_shortcut_record)
         hooks.store_shortcut_record(key, sc, record);
@@ -778,6 +815,10 @@ int run_one(const RunOptions& o, const RunHooks& hooks, JsonWriter& w) {
 
   w.key("config").begin_object();
   w.kv("seed", o.seed);
+  // Only non-default backends mark the report: default-backend documents
+  // stay byte-identical to the pre-registry pipeline (the golden contract).
+  if (o.algo == "shortcut" && backend_name != backend::kDefaultBackend)
+    w.kv("backend", backend_name);
   w.kv("validate", o.validate);
   if (o.algo == "components") w.kv("fail_rate", o.fail_rate);
   w.end_object();
@@ -834,6 +875,8 @@ int run_document(const RunOptions& o, const RunHooks& hooks,
             "every point; save single runs instead");
   LCS_CHECK(o.churn.empty() || o.algo == "churn",
             "--churn only applies to --algo=churn");
+  LCS_CHECK(o.backend.empty() || o.algo == "shortcut",
+            "--backend only applies to --algo=shortcut");
   LCS_CHECK(o.algo == "churn" || !dynamic::is_churn_spec(o.scenario),
             "a churn: scenario wrapper requires --algo=churn");
   LCS_CHECK(o.sweep.empty() || !dynamic::is_churn_spec(o.scenario),

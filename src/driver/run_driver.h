@@ -48,6 +48,7 @@ namespace lcs::driver {
 struct RunOptions {
   std::string algo;
   std::string scenario;
+  std::string backend;          ///< shortcut backend; empty = "hiz16"
   std::string churn;            ///< churn parameters for algo "churn"
   std::string sweep;            ///< empty = single run
   std::string save_graph_path;  ///< empty = don't save
@@ -66,6 +67,9 @@ struct ShortcutCacheKey {
   std::uint64_t spec_hash = 0;
   std::uint64_t partition_hash = 0;
   std::uint64_t seed = 0;
+  /// Resolved backend name ("hiz16" for requests that name none) — two
+  /// backends on the same (spec, partition, seed) are distinct records.
+  std::string backend;
 };
 
 /// FNV-1a of the spec string / the partition's canonical byte encoding.

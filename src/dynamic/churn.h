@@ -51,8 +51,8 @@
 #include "dynamic/dynamic_graph.h"
 #include "dynamic/verified.h"
 #include "graph/graph.h"
-#include "graph/metrics.h"
 #include "graph/partition.h"
+#include "shortcut/quality.h"
 
 namespace lcs::dynamic {
 

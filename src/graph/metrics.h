@@ -36,41 +36,9 @@ std::int32_t part_diameter_exact(const Graph& g, const Partition& p, PartId i);
 /// Max over all parts of the exact induced diameter.
 std::int32_t max_part_diameter(const Graph& g, const Partition& p);
 
-/// Deterministic BFS spanning forest of `g` (the "fresh construction"
-/// baseline for dynamically maintained trees): each component is rooted at
-/// its minimum node id and explored in adjacency order. Returns one flag per
-/// edge id; flagged edges form a spanning forest.
-std::vector<bool> bfs_forest_edges(const Graph& g);
-
-/// Shortcut-style quality of a spanning forest as a routing skeleton for a
-/// partition (the dynamic counterpart of `congestion` × `dilation_estimate`
-/// in shortcut/shortcut.h, measured on an arbitrary tree structure instead
-/// of a constructed shortcut):
-///  * for every part, its members inside one forest component span a
-///    *Steiner subtree* (the minimal subtree connecting them — under churn
-///    a part may straddle several components, each fragment spanning its
-///    own subtree);
-///  * `congestion` = max over forest edges of the number of such subtrees
-///    containing the edge;
-///  * `dilation` = max over subtrees of the subtree diameter in hops.
-/// Both are 0 when no part has two members in a common component.
-struct ForestQuality {
-  std::int32_t congestion = 0;
-  std::int32_t dilation = 0;
-  /// congestion * dilation — the figure of merit the paper's framework
-  /// bounds (rounds ~ congestion + dilation; the product is the standard
-  /// single-number summary used across the benches).
-  std::int64_t product() const {
-    return static_cast<std::int64_t>(congestion) *
-           static_cast<std::int64_t>(dilation);
-  }
-  friend bool operator==(const ForestQuality&, const ForestQuality&) = default;
-};
-
-/// Requires: `forest_edge[e]` flags form a forest (no cycles — diagnosed),
-/// `part_of[v]` in [-1, num parts). O(parts × n + m).
-ForestQuality forest_part_quality(const Graph& g,
-                                  const std::vector<PartId>& part_of,
-                                  const std::vector<bool>& forest_edge);
+// The Steiner-subtree quality measures (ForestQuality, forest_part_quality,
+// bfs_forest_edges) moved to shortcut/quality.h — the single home of the
+// congestion × dilation vocabulary shared by the shortcut backends and the
+// dynamic churn metrics.
 
 }  // namespace lcs

@@ -121,13 +121,14 @@ ShortcutRecordCache::ShortcutRecordCache(std::string cache_dir)
 std::string ShortcutRecordCache::path_for(
     const driver::ShortcutCacheKey& key) const {
   return dir_ + "/shortcut-" + hex16(key.spec_hash) + "-" +
-         hex16(key.partition_hash) + "-" + std::to_string(key.seed) + ".lcss";
+         hex16(key.partition_hash) + "-" + std::to_string(key.seed) + "-" +
+         key.backend + ".lcss";
 }
 
 std::shared_ptr<const ShortcutRunRecord> ShortcutRecordCache::find(
     const driver::ShortcutCacheKey& key, const scenario::Scenario& sc) {
   const auto memo_key = std::make_tuple(key.spec_hash, key.partition_hash,
-                                        key.seed);
+                                        key.seed, key.backend);
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = memo_.find(memo_key);
@@ -143,7 +144,7 @@ std::shared_ptr<const ShortcutRunRecord> ShortcutRecordCache::find(
   std::shared_ptr<const ShortcutRunRecord> record;
   try {
     record = std::make_shared<const ShortcutRunRecord>(load_shortcut_record(
-        path, sc.graph, key.spec_hash, key.partition_hash));
+        path, sc.graph, key.spec_hash, key.partition_hash, key.backend));
   } catch (const std::exception& e) {
     std::cerr << "lcs_serve: discarding shortcut cache entry: " << e.what()
               << "\n";
@@ -165,7 +166,8 @@ void ShortcutRecordCache::store(
   if (!dir_.empty()) save_shortcut_record(*record, path_for(key));
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.constructed;
-  memo_.emplace(std::make_tuple(key.spec_hash, key.partition_hash, key.seed),
+  memo_.emplace(std::make_tuple(key.spec_hash, key.partition_hash, key.seed,
+                                key.backend),
                 record);
 }
 

@@ -16,7 +16,8 @@
 ///    crash mid-store never leaves a torn cache entry for the next start.
 ///    Scenario entries are v2 graph bundles (`scenario-<spechash>.lcsg`)
 ///    carrying the graph plus PART and META sections; shortcut entries are
-///    `.lcss` records (`shortcut-<spechash>-<parthash>-<seed>.lcss`, see
+///    `.lcss` records
+///    (`shortcut-<spechash>-<parthash>-<seed>-<backend>.lcss`, see
 ///    shortcut/persist.h).
 ///
 /// Loads verify everything: file-format diagnoses from the codecs, the
@@ -100,8 +101,9 @@ class ShortcutRecordCache {
 
   std::string dir_;
   mutable std::mutex mu_;
-  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
-           std::shared_ptr<const ShortcutRunRecord>>
+  std::map<
+      std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::string>,
+      std::shared_ptr<const ShortcutRunRecord>>
       memo_;
   RecordCacheStats stats_;
 };

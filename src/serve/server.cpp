@@ -53,6 +53,7 @@ driver::RunOptions parse_request(const JsonValue& v) {
     if (key == "id") continue;  // validated by request_id
     else if (key == "algo") o.algo = val.as_string(what);
     else if (key == "scenario") o.scenario = val.as_string(what);
+    else if (key == "backend") o.backend = val.as_string(what);
     else if (key == "churn") o.churn = val.as_string(what);
     else if (key == "sweep") o.sweep = val.as_string(what);
     else if (key == "seed") o.seed = val.as_uint(what);
@@ -66,8 +67,8 @@ driver::RunOptions parse_request(const JsonValue& v) {
     else
       LCS_CHECK(false,
                 "unknown request field '" + key +
-                    "' (accepted: id, algo, scenario, churn, sweep, seed, "
-                    "threads, parallel_threshold, fail_rate, validate, "
+                    "' (accepted: id, algo, scenario, backend, churn, sweep, "
+                    "seed, threads, parallel_threshold, fail_rate, validate, "
                     "metrics, timing)");
   }
   return o;
@@ -143,9 +144,9 @@ Server::Response Server::handle_line(const std::string& line) {
     // the report is a function of.
     std::string memo_key;
     if (!o.timing) {
-      memo_key = o.algo + '\n' + o.scenario + '\n' + o.churn + '\n' +
-                 o.sweep + '\n' + std::to_string(o.seed) + '\n' +
-                 double_key(o.fail_rate) + '\n' +
+      memo_key = o.algo + '\n' + o.scenario + '\n' + o.backend + '\n' +
+                 o.churn + '\n' + o.sweep + '\n' + std::to_string(o.seed) +
+                 '\n' + double_key(o.fail_rate) + '\n' +
                  (o.validate ? '1' : '0') + (o.metrics ? '1' : '0');
       std::lock_guard<std::mutex> lock(memo_mu_);
       ++requests_served_;

@@ -1,0 +1,63 @@
+#include "shortcut/backend/backend.h"
+
+#include <utility>
+
+#include "shortcut/backend/builtins.h"
+#include "util/check.h"
+
+namespace lcs::backend {
+
+namespace {
+
+std::vector<Backend> make_builtin_backends() {
+  std::vector<Backend> list;
+  list.push_back(make_hiz16_backend());
+  list.push_back(make_kkoi19_backend());
+  list.push_back(make_naive_backend());
+  return list;
+}
+
+std::vector<Backend>& registry() {
+  static std::vector<Backend> list = make_builtin_backends();
+  return list;
+}
+
+}  // namespace
+
+void register_backend(Backend backend) {
+  LCS_CHECK(!backend.name.empty() && backend.construct != nullptr &&
+                backend.applicable != nullptr,
+            "shortcut backend needs a name, an applicability predicate, and "
+            "a construction");
+  for (const Backend& b : registry())
+    LCS_CHECK(b.name != backend.name,
+              "shortcut backend '" + backend.name + "' is already registered");
+  registry().push_back(std::move(backend));
+}
+
+const std::vector<Backend>& backends() { return registry(); }
+
+const Backend* find_backend(std::string_view name) {
+  for (const Backend& b : registry())
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+std::vector<std::string> applicable_backend_names(
+    const scenario::Scenario& sc) {
+  std::vector<std::string> names;
+  for (const Backend& b : registry())
+    if (b.applicable(sc).empty()) names.push_back(b.name);
+  return names;
+}
+
+std::string registered_backend_names() {
+  std::string names;
+  for (const Backend& b : registry()) {
+    if (!names.empty()) names += ", ";
+    names += b.name;
+  }
+  return names;
+}
+
+}  // namespace lcs::backend

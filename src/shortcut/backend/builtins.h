@@ -1,0 +1,15 @@
+/// \file builtins.h
+/// Internal: constructors of the built-in backends, one per translation
+/// unit (hiz16.cpp, kkoi19.cpp, naive.cpp), assembled into the registry by
+/// backend.cpp. Not part of the public backend API.
+#pragma once
+
+#include "shortcut/backend/backend.h"
+
+namespace lcs::backend {
+
+Backend make_hiz16_backend();
+Backend make_kkoi19_backend();
+Backend make_naive_backend();
+
+}  // namespace lcs::backend

@@ -1,0 +1,36 @@
+/// \file hiz16.cpp
+/// The `hiz16` backend: the paper's own FindShortcut doubling pipeline
+/// (CoreFast + Verification, Appendix A's unknown-parameter wrapper) run on
+/// the BFS tree. This is the default backend; the registry wrapper adds no
+/// behavior on top of `find_shortcut_doubling`, which keeps its reports
+/// byte-identical to the pre-registry pipeline.
+#include <string>
+#include <utility>
+
+#include "shortcut/backend/builtins.h"
+#include "shortcut/find_shortcut.h"
+
+namespace lcs::backend {
+
+Backend make_hiz16_backend() {
+  Backend b;
+  b.name = kDefaultBackend;
+  b.paper = "Haeupler, Izumi, Zuzic (PODC 2016)";
+  b.summary =
+      "FindShortcut doubling (CoreFast + Verification) on the BFS tree";
+  b.applicable = [](const scenario::Scenario&) { return std::string(); };
+  b.construct = [](const BackendInput& in) {
+    FindShortcutParams params;
+    params.seed = in.seed;
+    FindShortcutResult found =
+        find_shortcut_doubling(in.net, in.bfs_tree, in.sc.partition, params);
+    BackendOutput out;
+    out.tree = in.bfs_tree;
+    out.shortcut = std::move(found.state.shortcut);
+    out.find_stats = found.stats;
+    return out;
+  };
+  return b;
+}
+
+}  // namespace lcs::backend

@@ -1,0 +1,50 @@
+/// \file naive.cpp
+/// The `naive` backend: the folklore tree-restricted baseline. Each part's
+/// `Hi` is simply the Steiner subtree of its members on the BFS tree —
+/// connected by construction, so the block parameter is 1 and Lemma 1 gives
+/// dilation at most 2D + 1; congestion, however, can reach the part count
+/// (every subtree may cross the root). It is the cheap lower anchor of the
+/// backend comparison: any construction that beats it on congestion per
+/// family is doing real work.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/partition.h"
+#include "shortcut/backend/builtins.h"
+#include "shortcut/quality.h"
+
+namespace lcs::backend {
+
+Backend make_naive_backend() {
+  Backend b;
+  b.name = "naive";
+  b.paper = "folklore";
+  b.summary = "per-part Steiner subtrees on the BFS tree (block parameter 1)";
+  b.applicable = [](const scenario::Scenario&) { return std::string(); };
+  b.construct = [](const BackendInput& in) {
+    const Graph& g = in.sc.graph;
+    const std::vector<std::vector<NodeId>> members =
+        in.sc.partition.members();
+    BackendOutput out;
+    out.tree = in.bfs_tree;
+    out.shortcut.parts_on_edge.assign(
+        static_cast<std::size_t>(g.num_edges()), {});
+    std::int64_t steiner_edges = 0;
+    // Ascending part order keeps every per-edge part list strictly
+    // increasing, as the shortcut representation requires.
+    for (PartId i = 0; i < in.sc.partition.num_parts; ++i) {
+      for (const EdgeId e : steiner_subtree_edges(
+               g, in.bfs_tree, members[static_cast<std::size_t>(i)])) {
+        out.shortcut.parts_on_edge[static_cast<std::size_t>(e)].push_back(i);
+        ++steiner_edges;
+      }
+    }
+    out.stats.emplace_back("steiner_edges", steiner_edges);
+    return out;
+  };
+  return b;
+}
+
+}  // namespace lcs::backend

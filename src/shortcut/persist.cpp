@@ -86,6 +86,7 @@ std::string encode_shortcut_record(const ShortcutRunRecord& record) {
   w.put_u64(record.spec_hash);
   w.put_u64(record.partition_hash);
   w.put_u64(record.seed);
+  w.put_string(record.backend);
 
   w.put_i32(record.tree.root);
   w.put_u64(record.tree.parent_edge.size());
@@ -120,22 +121,33 @@ std::string encode_shortcut_record(const ShortcutRunRecord& record) {
     w.put_string(label);
     w.put_i64(rounds);
   }
+
+  w.put_u32(util::checked_cast<std::uint32_t>(record.backend_stats.size()));
+  for (const auto& [label, value] : record.backend_stats) {
+    w.put_string(label);
+    w.put_i64(value);
+  }
   return w.take();
 }
 
 ShortcutRunRecord decode_shortcut_record(std::string_view bytes,
                                          const Graph& g,
                                          std::uint64_t expect_spec_hash,
-                                         std::uint64_t expect_partition_hash) {
+                                         std::uint64_t expect_partition_hash,
+                                         std::string_view expect_backend) {
   ByteReader r(bytes, "shortcut record");
   ShortcutRunRecord record;
   record.spec_hash = r.get_u64("spec hash");
   record.partition_hash = r.get_u64("partition hash");
   record.seed = r.get_u64("seed");
+  record.backend = std::string(r.get_string("backend"));
   LCS_CHECK(record.spec_hash == expect_spec_hash &&
                 record.partition_hash == expect_partition_hash,
             "shortcut record key mismatch (cached for a different scenario "
             "or partition)");
+  LCS_CHECK(record.backend == expect_backend,
+            "shortcut record backend mismatch (cached '" + record.backend +
+                "', requested '" + std::string(expect_backend) + "')");
 
   const NodeId root = r.get_i32("tree root");
   const std::uint64_t n = r.get_u64("tree node count");
@@ -190,6 +202,14 @@ ShortcutRunRecord decode_shortcut_record(std::string_view bytes,
     const std::int64_t rounds = r.get_i64("charge rounds");
     record.charges.emplace_back(std::move(label), rounds);
   }
+
+  const std::uint32_t stat_count = r.get_u32("backend stat count");
+  record.backend_stats.reserve(stat_count);
+  for (std::uint32_t i = 0; i < stat_count; ++i) {
+    std::string label(r.get_string("backend stat label"));
+    const std::int64_t value = r.get_i64("backend stat value");
+    record.backend_stats.emplace_back(std::move(label), value);
+  }
   r.expect_done();
   return record;
 }
@@ -206,7 +226,8 @@ void save_shortcut_record(const ShortcutRunRecord& record,
 
 ShortcutRunRecord load_shortcut_record(const std::string& path, const Graph& g,
                                        std::uint64_t expect_spec_hash,
-                                       std::uint64_t expect_partition_hash) {
+                                       std::uint64_t expect_partition_hash,
+                                       std::string_view expect_backend) {
   std::ifstream in(path, std::ios::in | std::ios::binary);
   LCS_CHECK(in.is_open(), "cannot open shortcut record '" + path + "'");
   std::ostringstream buffer;
@@ -220,7 +241,8 @@ ShortcutRunRecord load_shortcut_record(const std::string& path, const Graph& g,
   LCS_CHECK(version == kShortcutRecordVersion,
             "unsupported shortcut record version " + std::to_string(version));
   return decode_shortcut_record(std::string_view(bytes).substr(8), g,
-                                expect_spec_hash, expect_partition_hash);
+                                expect_spec_hash, expect_partition_hash,
+                                expect_backend);
 }
 
 }  // namespace lcs

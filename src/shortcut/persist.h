@@ -13,14 +13,15 @@
 ///    rounds/messages, the charged-round breakdown, FindShortcut stats),
 ///    which cannot be recomputed without re-running the engine.
 ///
-/// The record is keyed by (spec hash, partition hash, seed); decoding
-/// verifies the keys match the scenario it is being applied to, so a stale
-/// or mismatched cache file is diagnosed, never silently served.
+/// The record is keyed by (spec hash, partition hash, seed, backend);
+/// decoding verifies the keys match the scenario and backend it is being
+/// applied to, so a stale or mismatched cache file is diagnosed, never
+/// silently served.
 ///
 /// ## File format (`.lcss`)
 ///
-///     magic 'LCSS' | u32 version (1)
-///     u64 spec_hash | u64 partition_hash | u64 seed
+///     magic 'LCSS' | u32 version (2)
+///     u64 spec_hash | u64 partition_hash | u64 seed | string backend
 ///     i32 root | u64 n | n x i32 parent_edge
 ///     u64 m | per tree edge with a nonempty part list:
 ///         (i32 edge | u32 count | count x i32 part)   -- see encode
@@ -29,6 +30,11 @@
 ///     i64 setup_rounds | i64 setup_messages
 ///     i64 algo_rounds | i64 algo_messages
 ///     u32 charge_count | charge_count x (string label | i64 rounds)
+///     u32 backend_stat_count | backend_stat_count x (string label | i64)
+///
+/// Version history: v1 had no backend field and no backend stats; v1 files
+/// are rejected loudly ("unsupported shortcut record version 1" — delete
+/// the cache directory to regenerate), never misread as v2.
 ///
 /// All fields little-endian via util/bytes.h; truncation and layout drift
 /// are diagnosed field-by-field. Writes go through the same atomic
@@ -48,17 +54,23 @@
 
 namespace lcs {
 
-inline constexpr std::uint32_t kShortcutRecordVersion = 1;
+inline constexpr std::uint32_t kShortcutRecordVersion = 2;
 
 /// One cached `--algo=shortcut` construction (see file comment).
 struct ShortcutRunRecord {
   std::uint64_t spec_hash = 0;
   std::uint64_t partition_hash = 0;
   std::uint64_t seed = 0;
+  /// Name of the backend that built the record (part of the cache key: the
+  /// same scenario under two backends yields two distinct records).
+  std::string backend;
 
   SpanningTree tree;
   Shortcut shortcut;
   FindShortcutStats stats;
+  /// Backend-specific named statistics (empty for the default backend,
+  /// whose result block renders `stats` above instead).
+  std::vector<std::pair<std::string, std::int64_t>> backend_stats;
 
   std::int64_t setup_rounds = 0;
   std::int64_t setup_messages = 0;
@@ -75,19 +87,22 @@ struct ShortcutRunRecord {
 
 [[nodiscard]] std::string encode_shortcut_record(const ShortcutRunRecord& record);
 
-/// Decode against the graph the record was built for; validates every
-/// id against `g` and the key fields against `expect_spec_hash` /
-/// `expect_partition_hash` (pass the hashes of the scenario being served).
+/// Decode against the graph the record was built for; validates every id
+/// against `g` and the key fields against `expect_spec_hash` /
+/// `expect_partition_hash` / `expect_backend` (pass the hashes of the
+/// scenario being served and the resolved backend name).
 [[nodiscard]] ShortcutRunRecord decode_shortcut_record(std::string_view bytes,
                                          const Graph& g,
                                          std::uint64_t expect_spec_hash,
-                                         std::uint64_t expect_partition_hash);
+                                         std::uint64_t expect_partition_hash,
+                                         std::string_view expect_backend);
 
 /// Atomic file wrappers (magic + version + encode/decode payload).
 void save_shortcut_record(const ShortcutRunRecord& record,
                           const std::string& path);
 [[nodiscard]] ShortcutRunRecord load_shortcut_record(const std::string& path, const Graph& g,
                                        std::uint64_t expect_spec_hash,
-                                       std::uint64_t expect_partition_hash);
+                                       std::uint64_t expect_partition_hash,
+                                       std::string_view expect_backend);
 
 }  // namespace lcs

@@ -8,8 +8,8 @@
 #include "dynamic/churn.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
-#include "graph/metrics.h"
 #include "graph/partition.h"
+#include "shortcut/quality.h"
 #include "scenario/scenario.h"
 #include "util/check.h"
 

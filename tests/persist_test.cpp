@@ -22,6 +22,7 @@ ShortcutRunRecord sample_record(const scenario::Scenario& sc) {
   rec.spec_hash = 11;
   rec.partition_hash = 22;
   rec.seed = 33;
+  rec.backend = "hiz16";
   rec.tree = reference_bfs_tree(sc.graph, 0);
   rec.shortcut.parts_on_edge.resize(sc.graph.num_edges());
   int placed = 0;
@@ -39,6 +40,7 @@ ShortcutRunRecord sample_record(const scenario::Scenario& sc) {
   rec.algo_rounds = 30;
   rec.algo_messages = 40;
   rec.charges = {{"core", 100}, {"verify", 50}};
+  rec.backend_stats = {{"width", 3}, {"steiner_edges", 17}};
   return rec;
 }
 
@@ -47,6 +49,7 @@ void expect_same_record(const ShortcutRunRecord& a,
   EXPECT_EQ(a.spec_hash, b.spec_hash);
   EXPECT_EQ(a.partition_hash, b.partition_hash);
   EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.backend, b.backend);
   EXPECT_EQ(a.tree.root, b.tree.root);
   EXPECT_EQ(a.tree.parent_edge, b.tree.parent_edge);
   EXPECT_EQ(a.tree.parent, b.tree.parent);
@@ -63,6 +66,7 @@ void expect_same_record(const ShortcutRunRecord& a,
   EXPECT_EQ(a.algo_rounds, b.algo_rounds);
   EXPECT_EQ(a.algo_messages, b.algo_messages);
   EXPECT_EQ(a.charges, b.charges);
+  EXPECT_EQ(a.backend_stats, b.backend_stats);
 }
 
 TEST(TreeFromParentEdges, RebuildsTheReferenceTree) {
@@ -110,7 +114,7 @@ TEST(ShortcutRecord, EncodeDecodeRoundTrips) {
   const std::string bytes = encode_shortcut_record(rec);
   const ShortcutRunRecord back =
       decode_shortcut_record(bytes, sc.graph, rec.spec_hash,
-                             rec.partition_hash);
+                             rec.partition_hash, rec.backend);
   expect_same_record(rec, back);
   // The rebuilt tree is fully usable, not just field-equal.
   validate_spanning_tree(sc.graph, back.tree);
@@ -122,16 +126,35 @@ TEST(ShortcutRecord, KeyMismatchIsDiagnosedNotServed) {
   const ShortcutRunRecord rec = sample_record(sc);
   const std::string bytes = encode_shortcut_record(rec);
   EXPECT_THROW(decode_shortcut_record(bytes, sc.graph, rec.spec_hash + 1,
-                                      rec.partition_hash),
+                                      rec.partition_hash, rec.backend),
                CheckFailure);
   EXPECT_THROW(decode_shortcut_record(bytes, sc.graph, rec.spec_hash,
-                                      rec.partition_hash + 1),
+                                      rec.partition_hash + 1, rec.backend),
                CheckFailure);
   // A graph of a different size is a stale-cache symptom, same treatment.
   const scenario::Scenario other = scenario::make_scenario("grid:w=4,h=4");
   EXPECT_THROW(decode_shortcut_record(bytes, other.graph, rec.spec_hash,
-                                      rec.partition_hash),
+                                      rec.partition_hash, rec.backend),
                CheckFailure);
+}
+
+TEST(ShortcutRecord, BackendMismatchIsDiagnosedNotServed) {
+  // A record cached under one backend must never answer a request naming
+  // another — the congestion numbers would be the wrong construction's.
+  const scenario::Scenario sc = scenario::make_scenario("grid:w=5,h=5");
+  const ShortcutRunRecord rec = sample_record(sc);
+  const std::string bytes = encode_shortcut_record(rec);
+  try {
+    (void)decode_shortcut_record(bytes, sc.graph, rec.spec_hash,
+                                 rec.partition_hash, "kkoi19");
+    FAIL() << "backend mismatch served";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("backend mismatch"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("kkoi19"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ShortcutRecord, EveryTruncationIsDiagnosed) {
@@ -139,14 +162,15 @@ TEST(ShortcutRecord, EveryTruncationIsDiagnosed) {
   const ShortcutRunRecord rec = sample_record(sc);
   const std::string bytes = encode_shortcut_record(rec);
   for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
-    EXPECT_THROW(decode_shortcut_record(bytes.substr(0, keep), sc.graph,
-                                        rec.spec_hash, rec.partition_hash),
-                 CheckFailure)
+    EXPECT_THROW(
+        decode_shortcut_record(bytes.substr(0, keep), sc.graph, rec.spec_hash,
+                               rec.partition_hash, rec.backend),
+        CheckFailure)
         << "keep=" << keep;
   }
   // Trailing garbage after a complete record is rejected too.
   EXPECT_THROW(decode_shortcut_record(bytes + "x", sc.graph, rec.spec_hash,
-                                      rec.partition_hash),
+                                      rec.partition_hash, rec.backend),
                CheckFailure);
 }
 
@@ -158,35 +182,44 @@ TEST(ShortcutRecord, FileRoundTripAndVersionRejection) {
   // The atomic write left no temp file behind.
   EXPECT_FALSE(std::ifstream(path + ".tmp").good());
   expect_same_record(rec, load_shortcut_record(path, sc.graph, rec.spec_hash,
-                                               rec.partition_hash));
+                                               rec.partition_hash,
+                                               rec.backend));
 
-  // Future format versions are rejected by name, never guessed at.
+  // Other format versions are rejected by name, never guessed at — both a
+  // future version and a stale v1 file (pre-backend layout: parsing it as
+  // v2 would misread the tree root as string length).
   std::string bytes;
   {
     std::ifstream in(path, std::ios::binary);
     bytes.assign(std::istreambuf_iterator<char>(in),
                  std::istreambuf_iterator<char>());
   }
-  bytes[4] = util::truncate_cast<char>(kShortcutRecordVersion + 1);
-  {
-    std::ofstream out(path, std::ios::binary);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  }
-  try {
-    (void)load_shortcut_record(path, sc.graph, rec.spec_hash, rec.partition_hash);
-    FAIL() << "future version parsed";
-  } catch (const CheckFailure& e) {
-    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
-        << e.what();
+  for (const std::uint32_t bad_version : {kShortcutRecordVersion + 1, 1u}) {
+    bytes[4] = util::truncate_cast<char>(bad_version);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+      (void)load_shortcut_record(path, sc.graph, rec.spec_hash,
+                                 rec.partition_hash, rec.backend);
+      FAIL() << "version " << bad_version << " parsed";
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find("unsupported shortcut record "
+                                           "version " +
+                                           std::to_string(bad_version)),
+                std::string::npos)
+          << e.what();
+    }
   }
   bytes[0] = 'X';  // and bad magic
   {
     std::ofstream out(path, std::ios::binary);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
-  EXPECT_THROW(
-      load_shortcut_record(path, sc.graph, rec.spec_hash, rec.partition_hash),
-      CheckFailure);
+  EXPECT_THROW(load_shortcut_record(path, sc.graph, rec.spec_hash,
+                                    rec.partition_hash, rec.backend),
+               CheckFailure);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,117 @@
+/// Hand-computed oracle tests for the Steiner-subtree quality helpers in
+/// shortcut/quality.h — the shared vocabulary of the shortcut backends and
+/// the dynamic churn metrics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/quality.h"
+#include "tree/spanning_tree.h"
+#include "util/check.h"
+
+namespace lcs {
+namespace {
+
+TEST(SteinerSubtree, PathEndpointsSpanTheWholePath) {
+  // Path 0-1-2-3-4 (edge e connects e and e+1). Members {0, 4} need every
+  // edge; members {1, 3} need exactly the middle two.
+  Graph g(5, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}});
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  EXPECT_EQ(steiner_subtree_edges(g, tree, {0, 4}),
+            (std::vector<EdgeId>{0, 1, 2, 3}));
+  EXPECT_EQ(steiner_subtree_edges(g, tree, {1, 3}),
+            (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(SteinerSubtree, StarLeavesMeetAtTheCenter) {
+  // Star centered at 0 with leaves 1..4 (edge e = (0, e+1)). Two leaves
+  // need their two legs; the subtree of {center, leaf} is one leg.
+  Graph g(5, {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}});
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  EXPECT_EQ(steiner_subtree_edges(g, tree, {1, 4}),
+            (std::vector<EdgeId>{0, 3}));
+  EXPECT_EQ(steiner_subtree_edges(g, tree, {0, 2}),
+            (std::vector<EdgeId>{1}));
+  EXPECT_EQ(steiner_subtree_edges(g, tree, {2, 3, 4}),
+            (std::vector<EdgeId>{1, 2, 3}));
+}
+
+TEST(SteinerSubtree, BranchesWithoutMembersAreExcluded) {
+  // Rooted at 0:    0
+  //               /   \        edges: 0=(0,1) 1=(0,2) 2=(1,3) 3=(1,4)
+  //              1     2
+  //             / \ .
+  //            3   4
+  // Members {3, 4} meet at 1 — node 0 and the 0-2 branch stay out.
+  Graph g(5, {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {1, 4, 1}});
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  EXPECT_EQ(steiner_subtree_edges(g, tree, {3, 4}),
+            (std::vector<EdgeId>{2, 3}));
+  // Adding 2 as a member pulls in the path through the root.
+  EXPECT_EQ(steiner_subtree_edges(g, tree, {2, 3, 4}),
+            (std::vector<EdgeId>{0, 1, 2, 3}));
+}
+
+TEST(SteinerSubtree, FewerThanTwoMembersSpanNothing) {
+  Graph g(3, {{0, 1, 1}, {1, 2, 1}});
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  EXPECT_TRUE(steiner_subtree_edges(g, tree, {}).empty());
+  EXPECT_TRUE(steiner_subtree_edges(g, tree, {2}).empty());
+}
+
+TEST(SteinerSubtree, OnlyTreeEdgesAreUsed) {
+  // 4-cycle: the BFS tree from 0 omits one cycle edge; the Steiner subtree
+  // of the two far corners must route over tree edges only.
+  Graph g(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 3, 1}});
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  for (const EdgeId e : steiner_subtree_edges(g, tree, {1, 3}))
+    EXPECT_TRUE(tree.is_tree_edge(e)) << "non-tree edge " << e;
+}
+
+TEST(SteinerSubtree, DiagnosesBadMembers) {
+  Graph g(3, {{0, 1, 1}, {1, 2, 1}});
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  EXPECT_THROW((void)steiner_subtree_edges(g, tree, {0, 7}), CheckFailure);
+  EXPECT_THROW((void)steiner_subtree_edges(g, tree, {1, 1}), CheckFailure);
+}
+
+TEST(SteinerSubtree, AgreesWithForestPartQuality) {
+  // The per-part Steiner edge sets, overlaid, must reproduce the
+  // forest-quality congestion measured on the same tree: same subtrees,
+  // two formulations.
+  Graph g(7, {{0, 1, 1},
+              {0, 2, 1},
+              {1, 3, 1},
+              {1, 4, 1},
+              {2, 5, 1},
+              {2, 6, 1}});
+  const SpanningTree tree = reference_bfs_tree(g, 0);
+  const std::vector<PartId> part_of = {kNoPart, 0, 1, 0, 1, 0, 1};
+  std::vector<std::vector<NodeId>> members(2);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (part_of[static_cast<std::size_t>(v)] != kNoPart)
+      members[static_cast<std::size_t>(
+          part_of[static_cast<std::size_t>(v)])].push_back(v);
+
+  std::vector<std::int32_t> load(static_cast<std::size_t>(g.num_edges()), 0);
+  std::int32_t max_load = 0;
+  for (const auto& m : members) {
+    for (const EdgeId e : steiner_subtree_edges(g, tree, m)) {
+      ++load[static_cast<std::size_t>(e)];
+      max_load = std::max(max_load, load[static_cast<std::size_t>(e)]);
+    }
+  }
+  std::vector<bool> forest(static_cast<std::size_t>(g.num_edges()), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    forest[static_cast<std::size_t>(e)] = tree.is_tree_edge(e);
+  const ForestQuality q = forest_part_quality(g, part_of, forest);
+  EXPECT_EQ(q.congestion, max_load);
+  // Hand value: both parts route through the root, sharing edges 0 and 1.
+  EXPECT_EQ(max_load, 2);
+}
+
+}  // namespace
+}  // namespace lcs

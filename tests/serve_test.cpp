@@ -210,6 +210,51 @@ TEST(ServeDriver, SeedAndPartitionChangesMissTheCache) {
   fs::remove_all(dir);
 }
 
+TEST(ServeDriver, BackendChangesMissTheCacheAndWarmStartServesAll) {
+  const std::string dir = fresh_dir("lcs_record_cache_backends");
+  driver::RunOptions o;
+  o.algo = "shortcut";
+  o.scenario = "ktree:n=40,k=3,seed=2";  // every built-in backend applies
+  o.timing = false;
+  std::vector<std::string> cold_docs;
+  {
+    serve::ScenarioCache scenarios(dir);
+    serve::ShortcutRecordCache records(dir);
+    const auto hooks = hooks_for(scenarios, records);
+    for (const char* backend : {"", "naive", "kkoi19"}) {
+      o.backend = backend;
+      std::string doc;
+      EXPECT_EQ(driver::run_document(o, hooks, doc), 0);
+      cold_docs.push_back(std::move(doc));
+    }
+    // Three distinct records: backend is part of the cache key.
+    EXPECT_EQ(records.stats().constructed, 3);
+    // An explicit --backend=hiz16 resolves to the default's record.
+    o.backend = "hiz16";
+    std::string doc;
+    EXPECT_EQ(driver::run_document(o, hooks, doc), 0);
+    EXPECT_EQ(records.stats().constructed, 3);
+    EXPECT_EQ(records.stats().memory_hits, 1);
+    EXPECT_EQ(doc, cold_docs[0]);
+  }
+  // Warm start: all three backends answered from disk, zero construction.
+  {
+    serve::ScenarioCache scenarios(dir);
+    serve::ShortcutRecordCache records(dir);
+    const auto hooks = hooks_for(scenarios, records);
+    std::size_t i = 0;
+    for (const char* backend : {"", "naive", "kkoi19"}) {
+      o.backend = backend;
+      std::string doc;
+      EXPECT_EQ(driver::run_document(o, hooks, doc), 0);
+      EXPECT_EQ(doc, cold_docs[i++]) << backend;
+    }
+    EXPECT_EQ(records.stats().constructed, 0);
+    EXPECT_EQ(records.stats().disk_loads, 3);
+  }
+  fs::remove_all(dir);
+}
+
 TEST(ServeDriver, ErrorDocumentsAreDeterministic) {
   driver::RunOptions o;
   o.algo = "nonsense";

@@ -74,6 +74,23 @@ expect_error churn_bad_wrapper 2 --algo=churn --scenario='churn:steps=10'
 expect_error churn_flag_without_algo 2 --algo=mst --scenario='er:n=50,deg=4' \
   --churn='steps=10'
 
+# Backend selection failures must name the offender and list the legal
+# choices — an unknown name, a construction that declines the scenario
+# family (with the accepted-backend list for that scenario), and the flag
+# on a non-shortcut algorithm.
+expect_error_contains unknown_backend 2 "'frobnicate'" \
+  --algo=shortcut --scenario='er:n=50,deg=4' --backend=frobnicate
+expect_error_contains unknown_backend_lists_registered 2 'registered:' \
+  --algo=shortcut --scenario='er:n=50,deg=4' --backend=frobnicate
+expect_error_contains inapplicable_backend 2 'not applicable' \
+  --algo=shortcut --scenario='er:n=50,deg=4' --backend=kkoi19
+expect_error_contains inapplicable_backend_lists_accepted 2 \
+  'accepted backends' \
+  --algo=shortcut --scenario='er:n=50,deg=4' --backend=kkoi19
+expect_error_contains backend_without_shortcut 2 \
+  '--backend only applies to --algo=shortcut' \
+  --algo=mst --scenario='er:n=50,deg=4' --backend=naive
+
 # Silent-misparse regressions: a duplicated spec key and an unknown spec
 # key must be rejected with the offending key named, never last-wins or
 # silently defaulted.

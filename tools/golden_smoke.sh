@@ -101,6 +101,70 @@ for i in "${!NAMES[@]}"; do
   done
 done
 
+# Backend cells: the same byte-exact gate over the non-default shortcut
+# constructions (--backend). One ktree scenario, every registered backend —
+# kkoi19 (treewidth elimination tree) is only applicable there. Besides
+# pinning the reports, this section asserts the quality claim the backends
+# exist for: kkoi19's congestion on this cell is STRICTLY below hiz16's
+# (the elimination tree keeps every part's Steiner subtree narrow).
+BK_NAMES=()
+BK_SPECS=()
+BK_BACKENDS=()
+bk_add() { BK_NAMES+=("$1"); BK_SPECS+=("$2"); BK_BACKENDS+=("$3"); }
+bk_add ktree400 "ktree:n=400,k=4,seed=3" hiz16
+bk_add ktree400 "ktree:n=400,k=4,seed=3" kkoi19
+bk_add ktree400 "ktree:n=400,k=4,seed=3" naive
+
+congestion_of() {  # first "congestion" value in a report
+  grep -o '"congestion": [0-9]*' "$1" | head -1 | grep -o '[0-9]*'
+}
+
+for i in "${!BK_NAMES[@]}"; do
+  name=${BK_NAMES[$i]}
+  spec=${BK_SPECS[$i]}
+  be=${BK_BACKENDS[$i]}
+  out="$TMP/$name.$be.json"
+  if ! "$LCS_RUN" --algo=shortcut --scenario="$spec" --backend="$be" \
+      --seed=7 --validate --no-timing --out="$out"; then
+    echo "FAIL: $name/$be exited nonzero (validation or runtime error)" >&2
+    fail=1
+    continue
+  fi
+
+  golden="$GOLDENS/$name.$be.json"
+  if [[ "$UPDATE" == "--update" ]]; then
+    cp "$out" "$golden"
+  elif ! diff -u "$golden" "$out" >&2; then
+    echo "FAIL: $name/$be drifted from the committed golden" >&2
+    echo "      (deliberate change? regenerate: tools/regen_goldens.sh)" >&2
+    fail=1
+  fi
+
+  for threads in 2 4; do
+    tout="$TMP/$name.$be.t$threads.json"
+    if ! "$LCS_RUN" --algo=shortcut --scenario="$spec" --backend="$be" \
+        --seed=7 --validate --no-timing --threads="$threads" \
+        --parallel-threshold=0 --out="$tout"; then
+      echo "FAIL: $name/$be exited nonzero at --threads $threads" >&2
+      fail=1
+      continue
+    fi
+    if ! diff -u "$out" "$tout" >&2; then
+      echo "FAIL: $name/$be not bit-identical at --threads $threads" >&2
+      fail=1
+    fi
+  done
+done
+
+hiz16_cong=$(congestion_of "$TMP/ktree400.hiz16.json")
+kkoi19_cong=$(congestion_of "$TMP/ktree400.kkoi19.json")
+if [[ -z "$hiz16_cong" || -z "$kkoi19_cong" ||
+      "$kkoi19_cong" -ge "$hiz16_cong" ]]; then
+  echo "FAIL: kkoi19 congestion ($kkoi19_cong) is not strictly below" \
+       "hiz16's ($hiz16_cong) on ktree400" >&2
+  fail=1
+fi
+
 # Churn cells: the acceptance loop for the dynamic subsystem. Each drives a
 # 1000-step verified insert/delete stream (every mutation checked against
 # the from-scratch components + MSF oracles) over a different family, and
@@ -191,4 +255,4 @@ if [[ $fail -ne 0 ]]; then
   echo "golden matrix: FAILED" >&2
   exit 1
 fi
-echo "golden matrix: ${#NAMES[@]} scenarios x ${#ALGOS[@]} algorithms + ${#CHURN_NAMES[@]} churn + 1 sweep OK (threads 1/2/4 bit-identical)"
+echo "golden matrix: ${#NAMES[@]} scenarios x ${#ALGOS[@]} algorithms + ${#BK_NAMES[@]} backend + ${#CHURN_NAMES[@]} churn + 1 sweep OK (threads 1/2/4 bit-identical)"

@@ -40,6 +40,7 @@
 
 #include "driver/run_driver.h"
 #include "scenario/scenario.h"
+#include "shortcut/backend/backend.h"
 #include "util/check.h"
 
 namespace {
@@ -50,6 +51,7 @@ struct Options {
   driver::RunOptions run;
   std::string out_path;  // empty = stdout
   bool list = false;
+  bool list_backends = false;
 };
 
 constexpr const char* kUsage = R"(usage: lcs_run --algo=ALGO --scenario=SPEC [options]
@@ -59,6 +61,9 @@ constexpr const char* kUsage = R"(usage: lcs_run --algo=ALGO --scenario=SPEC [op
   --scenario=SPEC    scenario spec, e.g. "grid:w=64,h=64" or "file:road.bin"
                      (run --list for the full family vocabulary); --algo=churn
                      also accepts the "churn:base=SPEC;params" wrapper
+  --backend=NAME     shortcut construction for --algo=shortcut (default
+                     hiz16, the paper's pipeline; run --list-backends for
+                     the registered constructions and their applicability)
   --churn=PARAMS     churn stream parameters for --algo=churn with a plain
                      base --scenario, e.g. "steps=1000,rate=0.02,seed=7"
                      (see src/dynamic/churn.h for the vocabulary)
@@ -79,6 +84,7 @@ constexpr const char* kUsage = R"(usage: lcs_run --algo=ALGO --scenario=SPEC [op
   --save-graph=PATH  also save the scenario's graph as a binary cache
   --out=PATH         write the JSON report to PATH instead of stdout
   --list             list registered scenario families and exit
+  --list-backends    list registered shortcut backends and exit
 )";
 
 bool take_value(const char* arg, const char* name, std::string& out) {
@@ -109,6 +115,7 @@ Options parse_args(int argc, char** argv) {
     std::string v;
     if (take_value(arg, "--algo", o.run.algo)) continue;
     if (take_value(arg, "--scenario", o.run.scenario)) continue;
+    if (take_value(arg, "--backend", o.run.backend)) continue;
     if (take_value(arg, "--churn", o.run.churn)) continue;
     if (take_value(arg, "--sweep", o.run.sweep)) continue;
     if (take_value(arg, "--out", o.out_path)) continue;
@@ -134,6 +141,10 @@ Options parse_args(int argc, char** argv) {
     if (std::strcmp(arg, "--metrics") == 0) { o.run.metrics = true; continue; }
     if (std::strcmp(arg, "--no-timing") == 0) { o.run.timing = false; continue; }
     if (std::strcmp(arg, "--list") == 0) { o.list = true; continue; }
+    if (std::strcmp(arg, "--list-backends") == 0) {
+      o.list_backends = true;
+      continue;
+    }
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::cout << kUsage;
       std::exit(0);
@@ -153,6 +164,15 @@ void list_families() {
   std::cout << "common params: parts=<k>, pseed=<s> (random BFS partition "
                "override);\n               weights=<lo>-<hi>, wseed=<s> "
                "(uniform re-weighting)\n";
+}
+
+void list_backends() {
+  std::cout << "registered shortcut backends (--backend=NAME, default "
+            << backend::kDefaultBackend << "):\n";
+  for (const auto& b : backend::backends()) {
+    std::cout << "  " << b.name << "\n      paper: " << b.paper << "\n      "
+              << b.summary << "\n";
+  }
 }
 
 int run(const Options& o) {
@@ -189,6 +209,10 @@ int main(int argc, char** argv) {
   const Options o = parse_args(argc, argv);
   if (o.list) {
     list_families();
+    return 0;
+  }
+  if (o.list_backends) {
+    list_backends();
     return 0;
   }
   try {

@@ -55,6 +55,12 @@ add short_t4 '{"id":"short_t4","algo":"shortcut","scenario":"rmat:scale=7,deg=5,
   '--algo=shortcut --scenario=rmat:scale=7,deg=5,seed=3 --seed=7 --threads=4 --parallel-threshold=0 --validate --no-timing'
 add mst_t4 '{"id":"mst_t4","algo":"mst","scenario":"er:n=150,deg=5,seed=5","seed":7,"threads":4,"parallel_threshold":0,"validate":true,"timing":false}' \
   '--algo=mst --scenario=er:n=150,deg=5,seed=5 --seed=7 --threads=4 --parallel-threshold=0 --validate --no-timing'
+# Backend dimension: a non-default shortcut construction selected through
+# the request's "backend" field, and the inapplicable-backend error object.
+add short_kkoi19 '{"id":"short_kkoi19","algo":"shortcut","scenario":"ktree:n=120,k=3,seed=8","backend":"kkoi19","seed":7,"validate":true,"timing":false}' \
+  '--algo=shortcut --scenario=ktree:n=120,k=3,seed=8 --backend=kkoi19 --seed=7 --validate --no-timing'
+add err_backend '{"id":"err_backend","algo":"shortcut","scenario":"er:n=100,deg=4,seed=5","backend":"kkoi19","timing":false}' \
+  '--algo=shortcut --scenario=er:n=100,deg=4,seed=5 --backend=kkoi19 --no-timing'
 add sweep '{"id":"sweep","algo":"components","scenario":"er:n=100,deg=4,seed=5","sweep":"n=100..400:x2","seed":7,"timing":false}' \
   '--algo=components --scenario=er:n=100,deg=4,seed=5 --sweep=n=100..400:x2 --seed=7 --no-timing'
 add churn '{"id":"churn","algo":"churn","scenario":"churn:base=er:n=150,deg=5,seed=5;steps=200,rate=0.02,seed=7","seed":7,"timing":false}' \
