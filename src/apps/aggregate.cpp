@@ -1,5 +1,14 @@
 #include "apps/aggregate.h"
 
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/find_shortcut.h"
+#include "shortcut/part_routing.h"
+#include "shortcut/superstep.h"
+#include "tree/spanning_tree.h"
+
 namespace lcs {
 
 PartAggregator::PartAggregator(congest::Network& net, const SpanningTree& tree,

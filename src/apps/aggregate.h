@@ -12,9 +12,11 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
 #include "graph/partition.h"
 #include "shortcut/find_shortcut.h"
-#include "shortcut/part_routing.h"
+#include "shortcut/representation.h"
 #include "shortcut/superstep.h"
 #include "tree/spanning_tree.h"
 

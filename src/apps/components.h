@@ -11,6 +11,7 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
 #include "graph/partition.h"
 #include "tree/spanning_tree.h"
 

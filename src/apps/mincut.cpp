@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "apps/components.h"
+#include "congest/network.h"
+#include "graph/graph.h"
+#include "tree/spanning_tree.h"
 #include "util/check.h"
 #include "util/random.h"
 

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include "congest/message.h"
+#include "congest/process.h"
+#include "graph/graph.h"
 #include "util/cast.h"
 #include "util/check.h"
+#include "util/worker_pool.h"
 
 namespace lcs::congest {
 

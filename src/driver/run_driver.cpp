@@ -16,15 +16,23 @@
 #include "apps/mincut.h"
 #include "congest/network.h"
 #include "dynamic/churn.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/verified.h"
+#include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
+#include "graph/partition.h"
 #include "graph/reference.h"
 #include "mst/boruvka_shortcut.h"
+#include "mst/mwoe.h"
+#include "scenario/scenario.h"
 #include "shortcut/backend/backend.h"
 #include "shortcut/find_shortcut.h"
+#include "shortcut/persist.h"
 #include "shortcut/quality.h"
 #include "shortcut/shortcut.h"
 #include "tree/bfs_tree.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 #include "util/hash.h"

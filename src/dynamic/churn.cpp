@@ -5,7 +5,12 @@
 #include <limits>
 #include <utility>
 
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/verified.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "scenario/scenario.h"
+#include "shortcut/quality.h"
 #include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "graph/graph.h"
+#include "graph/union_find.h"
 #include "util/cast.h"
 #include "util/check.h"
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "dynamic/dynamic_graph.h"
+#include "graph/graph.h"
 #include "graph/union_find.h"
 #include "util/check.h"
 

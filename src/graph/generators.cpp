@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph.h"
 #include "graph/metrics.h"
 #include "graph/pair_hash_set.h"
 #include "graph/union_find.h"

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "util/bytes.h"
 #include "util/cast.h"
 #include "util/check.h"

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <deque>
 
-#include "util/cast.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "util/check.h"
 
 namespace lcs {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "graph/union_find.h"
 #include "util/cast.h"
 #include "util/check.h"

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "graph/graph.h"
 #include "graph/union_find.h"
 #include "util/check.h"
 

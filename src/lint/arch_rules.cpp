@@ -1,0 +1,287 @@
+/// \file arch_rules.cpp
+/// Project-wide rules: A1 layering, A2 include cycles, A3 missing direct
+/// include, A4 unused direct include, U1 dead file-external symbols.
+/// These see every file's FileSummary at once — they reason about the
+/// include graph and cross-TU references, which no single file can.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/include_graph.h"
+#include "lint/lint.h"
+#include "lint/parse.h"
+#include "lint/rules.h"
+#include "util/cast.h"
+
+namespace lcs::lint::detail {
+
+namespace {
+
+bool is_header(std::string_view path) {
+  return path_ends_with(path, ".h") || path_ends_with(path, ".hpp");
+}
+
+/// "src/graph/io.cpp" -> "src/graph/io", used for header/source pairing.
+std::string_view stem(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string_view::npos ? path : path.substr(0, dot);
+}
+
+bool is_pair(std::string_view a, std::string_view b) {
+  return stem(a) == stem(b);
+}
+
+/// The symbol kinds that constitute a file's exports (namespaces are
+/// scoping, not symbols).
+bool exportable(const Decl& d) {
+  return d.kind != DeclKind::kNamespace && !d.file_local;
+}
+
+}  // namespace
+
+void run_project_rules(const std::vector<FileSummary>& files,
+                       const IncludeGraph& graph, const LayerManifest& layers,
+                       const std::function<void(Finding)>& report) {
+  const std::vector<std::string>& nodes = graph.nodes();
+
+  // Summary lookup by node index (node keys == summary paths).
+  std::vector<const FileSummary*> by_node(nodes.size(), nullptr);
+  for (const FileSummary& f : files) {
+    const int n = graph.node_of(f.path);
+    if (n >= 0) by_node[util::checked_usize(n)] = &f;
+  }
+
+  // ---- A1: layering violations -------------------------------------------
+  if (!layers.layers().empty()) {
+    for (std::size_t f = 0; f < nodes.size(); ++f) {
+      const int lf = layers.layer_of(nodes[f]);
+      if (lf < 0) continue;
+      for (const IncludeGraph::Edge& e : graph.out_edges()[f]) {
+        const std::string& to = nodes[util::checked_usize(e.to)];
+        const int lt = layers.layer_of(to);
+        if (lt < 0 || lt <= lf) continue;
+        report(Finding{
+            nodes[f], e.line, e.col, "A1",
+            "include climbs the architecture layering: " +
+                layers.layers()[util::checked_usize(lf)].name + " (" +
+                nodes[f] + ") must not include " +
+                layers.layers()[util::checked_usize(lt)].name + " (" + to +
+                ") — lower layers cannot see higher ones",
+            "invert the dependency (callback, registry, or move the shared "
+            "piece down); the manifest is src/lint/layers.txt"});
+      }
+    }
+  }
+
+  // ---- A2: include cycles ------------------------------------------------
+  for (const std::vector<int>& cyc : graph.cycles()) {
+    const std::size_t anchor = util::checked_usize(cyc[0]);
+    // Anchor the finding at the first cycle member's edge into the cycle.
+    int line = 1;
+    int col = 1;
+    for (const IncludeGraph::Edge& e : graph.out_edges()[anchor]) {
+      if (std::find(cyc.begin(), cyc.end(), e.to) != cyc.end()) {
+        line = e.line;
+        col = e.col;
+        break;
+      }
+    }
+    std::string members;
+    for (const int n : cyc) {
+      if (!members.empty()) members += ", ";
+      members += nodes[util::checked_usize(n)];
+    }
+    report(Finding{nodes[anchor], line, col, "A2",
+                   "include cycle among: " + members +
+                       " — cyclic headers make build order and incremental "
+                       "analysis ill-defined",
+                   "split the shared declarations into a lower header both "
+                   "sides can include"});
+  }
+
+  // ---- Exported-symbol indexes -------------------------------------------
+  // A3 wants the one true home of a symbol. Definitions outrank
+  // declarations: a function's home is the header *declaring* it (its
+  // definition lives in a .cpp), but a type forward-declared in many
+  // headers is homed at the single header that defines it. exports: per
+  // node, every exportable name (declarations included — a forward-decl
+  // header is a legitimate thing to include for the name).
+  std::map<std::string, std::vector<int>> def_homes;   // is_definition
+  std::map<std::string, std::vector<int>> decl_homes;  // any exportable
+  std::vector<std::set<std::string>> exports(nodes.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const FileSummary* f = by_node[n];
+    if (f == nullptr) continue;
+    for (const Decl& d : f->outline.decls) {
+      if (!exportable(d)) continue;
+      exports[n].insert(d.name);
+      if (is_header(nodes[n])) {
+        const int ni = util::checked_cast<int>(n);
+        std::vector<int>& dh = decl_homes[d.name];
+        if (dh.empty() || dh.back() != ni) dh.push_back(ni);
+        if (d.is_definition) {
+          std::vector<int>& v = def_homes[d.name];
+          if (v.empty() || v.back() != ni) v.push_back(ni);
+        }
+      }
+    }
+  }
+  // name -> its unique home header, or nothing.
+  std::map<std::string, int> definers;
+  for (const auto& [name, homes] : decl_homes) {
+    const auto dit = def_homes.find(name);
+    if (dit != def_homes.end()) {
+      if (dit->second.size() == 1) definers[name] = dit->second[0];
+    } else if (homes.size() == 1) {
+      definers[name] = homes[0];
+    }
+  }
+
+  const std::vector<std::vector<int>> reach = graph.closure();
+
+  // ---- A3 / A4 per file --------------------------------------------------
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const FileSummary* f = by_node[n];
+    if (f == nullptr) continue;
+
+    std::set<int> direct;
+    for (const IncludeGraph::Edge& e : graph.out_edges()[n]) {
+      direct.insert(e.to);
+    }
+    const std::set<int> reachable(reach[n].begin(), reach[n].end());
+
+    std::set<std::string> own_names;
+    for (const Decl& d : f->outline.decls) own_names.insert(d.name);
+
+    std::set<std::string> ref_names;
+    for (const Ref& r : f->refs) ref_names.insert(r.name);
+
+    // A3: symbol with a unique defining header, reached only transitively.
+    std::set<int> a3_reported;  // one finding per missing header
+    for (const Ref& r : f->refs) {
+      if (own_names.count(r.name) != 0) continue;
+      const auto it = definers.find(r.name);
+      if (it == definers.end()) continue;
+      const int h = it->second;
+      const std::size_t hu = util::checked_usize(h);
+      if (hu == n || is_pair(nodes[hu], nodes[n])) continue;
+      if (direct.count(h) != 0) continue;
+      if (reachable.count(h) == 0) continue;  // not via our includes at all
+      if (!a3_reported.insert(h).second) continue;
+      report(Finding{
+          f->path, r.line, r.col, "A3",
+          "'" + r.name + "' is defined in " + nodes[hu] +
+              ", which this file only reaches transitively — a refactor of "
+              "an intermediate header's includes breaks this file",
+          "add `#include \"" +
+              (nodes[hu].size() > 4 && nodes[hu].substr(0, 4) == "src/"
+                   ? nodes[hu].substr(4)
+                   : nodes[hu]) +
+              "\"` (include what you use)"});
+    }
+
+    // A4: direct project include whose exports are never referenced.
+    for (const IncludeGraph::Edge& e : graph.out_edges()[n]) {
+      const std::size_t hu = util::checked_usize(e.to);
+      if (!is_header(nodes[hu]) || is_pair(nodes[hu], nodes[n])) continue;
+      const std::set<std::string>& ex = exports[hu];
+      if (ex.empty()) continue;  // umbrella / operator-only header
+      bool used = false;
+      for (const std::string& name : ex) {
+        if (ref_names.count(name) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (used) continue;
+      report(Finding{f->path, e.line, e.col, "A4",
+                     "unused direct include: no symbol exported by " +
+                         nodes[hu] + " is referenced in this file",
+                     "drop the #include (or use the symbol it was added "
+                     "for)"});
+    }
+  }
+
+  // ---- U1: dead file-external symbols ------------------------------------
+  // A name is alive if any file references it more times than it declares
+  // it (declaration name tokens count as refs; macro definition names do
+  // not, so for macros any reference at all is life). Pure name-level:
+  // overloads and coincidental name shares are merged — conservative in
+  // the safe direction.
+  struct RefStat {
+    int refs = 0;
+    int decls = 0;  // decl name tokens that collect_refs counted
+  };
+  // name -> per-file stats, and name -> candidate (file, decl) sites.
+  std::map<std::string, std::map<std::string, RefStat>> stats;
+  struct Site {
+    const FileSummary* file;
+    const Decl* decl;
+  };
+  std::map<std::string, std::vector<Site>> candidates;
+
+  for (const FileSummary& f : files) {
+    for (const Ref& r : f.refs) {
+      // Only names someone defines can be U1 candidates; prune later.
+      stats[r.name][f.path].refs += r.count;
+    }
+    for (const Decl& d : f.outline.decls) {
+      if (d.kind == DeclKind::kNamespace) continue;
+      if (d.kind != DeclKind::kMacro) {
+        // The decl's own name token was counted by collect_refs.
+        stats[d.name][f.path].decls += 1;
+      }
+      if (f.path.size() < 4 || f.path.substr(0, 4) != "src/") continue;
+      if (!exportable(d)) continue;
+      if (d.name == "main") continue;
+      // Registry entry points are *meant* to be referenced only by the
+      // registrar; they are the plugin seam, not dead code.
+      if (d.name.size() >= 9 && d.name.substr(0, 9) == "register_") continue;
+      candidates[d.name].push_back(Site{&f, &d});
+    }
+  }
+
+  for (const auto& [name, sites] : candidates) {
+    bool alive = false;
+    const auto st = stats.find(name);
+    if (st != stats.end()) {
+      for (const auto& [path, s] : st->second) {
+        if (s.refs > s.decls) {
+          alive = true;
+          break;
+        }
+      }
+    }
+    if (alive) continue;
+
+    // Report once per defining file; for a header/source pair, prefer the
+    // header declaration (the .cpp definition dies with it).
+    std::set<std::string> reported_stems;
+    for (const Site& s : sites) {
+      bool header_sibling = false;
+      if (!is_header(s.file->path)) {
+        for (const Site& o : sites) {
+          if (o.file != s.file && is_pair(o.file->path, s.file->path)) {
+            header_sibling = true;
+            break;
+          }
+        }
+      }
+      if (header_sibling) continue;
+      if (!reported_stems.insert(std::string(stem(s.file->path))).second)
+        continue;
+      report(Finding{
+          s.file->path, s.decl->line, s.decl->col, "U1",
+          "'" + name + "' is defined here but referenced by no other "
+              "translation unit — dead file-external symbols are API "
+              "surface nothing pays for",
+          "delete it, make it file-local (static / anonymous namespace), "
+          "or reference it from the code that was supposed to use it"});
+    }
+  }
+}
+
+}  // namespace lcs::lint::detail

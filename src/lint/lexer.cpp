@@ -29,44 +29,113 @@ constexpr std::string_view kPuncts[] = {
     "^=", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
 };
 
+/// True if position `p` of `s` starts a backslash line-splice
+/// (`\` + `\n`, or `\` + `\r\n`). Returns the splice length (0 if none).
+std::size_t splice_len_at(std::string_view s, std::size_t p) {
+  if (p >= s.size() || s[p] != '\\') return 0;
+  if (p + 1 < s.size() && s[p + 1] == '\n') return 2;
+  if (p + 2 < s.size() && s[p + 1] == '\r' && s[p + 2] == '\n') return 3;
+  return 0;
+}
+
 }  // namespace
 
-std::vector<Token> lex(std::string_view src) {
+std::vector<Token> lex(std::string_view source, std::string* splice_storage) {
+  std::string_view src = source;
+
+  // Translation phase 2: if the caller gave us storage and the source
+  // contains `\`+newline splices, materialize the spliced text and a
+  // per-byte map back to physical line/column, then lex the spliced text.
+  // Tokens report the physical position of their first character, so a
+  // directive spliced across three lines is still findable in the editor.
+  bool has_map = false;
+  std::vector<int> line_map;
+  std::vector<int> col_map;
+  if (splice_storage != nullptr) {
+    bool has_splice = false;
+    for (std::size_t p = source.find('\\'); p != std::string_view::npos;
+         p = source.find('\\', p + 1)) {
+      if (splice_len_at(source, p) != 0) {
+        has_splice = true;
+        break;
+      }
+    }
+    if (has_splice) {
+      std::string& spliced = *splice_storage;
+      spliced.clear();
+      spliced.reserve(source.size());
+      line_map.reserve(source.size());
+      col_map.reserve(source.size());
+      int pl = 1;
+      int pc = 1;
+      for (std::size_t p = 0; p < source.size();) {
+        const std::size_t sl = splice_len_at(source, p);
+        if (sl != 0) {
+          // The splice vanishes from the logical text; physically it ends
+          // the line.
+          ++pl;
+          pc = 1;
+          p += sl;
+          continue;
+        }
+        spliced.push_back(source[p]);
+        line_map.push_back(pl);
+        col_map.push_back(pc);
+        if (source[p] == '\n') {
+          ++pl;
+          pc = 1;
+        } else {
+          ++pc;
+        }
+        ++p;
+      }
+      src = spliced;
+      has_map = true;
+    }
+  }
+
   std::vector<Token> out;
   out.reserve(src.size() / 6 + 16);
 
   std::size_t i = 0;
   int line = 1;
   int col = 1;
+  bool at_bol = true;  // no token yet on the current logical line
 
   const auto advance = [&](std::size_t n) {
     for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
-      if (src[i] == '\n') {
-        ++line;
-        col = 1;
-      } else {
-        ++col;
+      if (!has_map) {
+        if (src[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
       }
     }
   };
   const auto emit = [&](TokKind kind, std::size_t begin, std::size_t end,
                         int tline, int tcol) {
-    out.push_back(Token{kind, src.substr(begin, end - begin), tline, tcol});
+    out.push_back(
+        Token{kind, src.substr(begin, end - begin), tline, tcol, at_bol});
+    at_bol = false;
   };
 
   while (i < src.size()) {
     const char c = src[i];
 
-    // Whitespace.
+    // Whitespace. A newline here starts a fresh logical line (splices were
+    // already removed above, so every remaining '\n' is logical).
     if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
         c == '\v') {
+      if (c == '\n') at_bol = true;
       advance(1);
       continue;
     }
 
     const std::size_t begin = i;
-    const int tline = line;
-    const int tcol = col;
+    const int tline = has_map ? line_map[i] : line;
+    const int tcol = has_map ? col_map[i] : col;
 
     // Line comment.
     if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {

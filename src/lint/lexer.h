@@ -10,10 +10,17 @@
 /// identifiers, and a small set of multi-character punctuators that the
 /// rules match on (`::`, `->`, `[[`, `]]`, compound assignment).
 ///
+/// Backslash line-splices (translation phase 2) are honored when the
+/// caller provides splice storage: `#include \<newline> "x.h"` — or an
+/// identifier split mid-word — lexes to the same tokens as the unspliced
+/// text, with every token positioned at its first *physical* line/column,
+/// so the include-graph and directive rules cannot be blinded by a splice.
+///
 /// Comments are kept as tokens — suppression directives
 /// (`// lcs-lint: allow(RULE) reason`) live in them.
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -30,16 +37,26 @@ enum class TokKind {
 
 struct Token {
   TokKind kind;
-  std::string_view text;  ///< view into the lexed source
-  int line = 0;           ///< 1-based line of the token's first character
-  int col = 0;            ///< 1-based column of the token's first character
+  std::string_view text;  ///< view into the lexed source (or splice storage)
+  int line = 0;           ///< 1-based physical line of the first character
+  int col = 0;            ///< 1-based physical column of the first character
+  bool bol = false;       ///< first token on its *logical* line (splices
+                          ///< join lines; directives end at the next bol)
 };
 
 /// Tokenize `source`. Never throws on malformed input: an unterminated
 /// comment/string simply extends to end of file (the compiler is the
 /// authority on well-formedness; the linter only needs to never
-/// mis-classify). The returned tokens view into `source`, which must
-/// outlive them.
-std::vector<Token> lex(std::string_view source);
+/// mis-classify).
+///
+/// If `splice_storage` is non-null and the source contains backslash
+/// line-splices, the spliced text is materialized into `*splice_storage`
+/// and the returned tokens view into it (it must outlive them); token
+/// line/col still name the original physical position. Without storage,
+/// splices are left untouched (the `\` lexes as a punctuator) — callers
+/// that enforce directive-level rules must pass storage. In the common
+/// splice-free case the tokens view directly into `source`.
+std::vector<Token> lex(std::string_view source,
+                       std::string* splice_storage = nullptr);
 
 }  // namespace lcs::lint

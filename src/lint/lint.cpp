@@ -3,24 +3,24 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
+#include "lint/include_graph.h"
 #include "lint/lexer.h"
+#include "lint/parse.h"
 #include "lint/rules.h"
+#include "util/cast.h"
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/json_reader.h"
+#include "util/json_writer.h"
 
 namespace lcs::lint {
 
 namespace {
-
-struct Suppression {
-  int line = 0;            ///< line the comment sits on
-  int target_line = 0;     ///< line the suppression applies to
-  std::vector<std::string> rules;
-  std::string reason;
-  bool used = false;
-  bool malformed = false;  ///< missing reason / unknown rule (reported once)
-};
 
 bool is_known_rule(std::string_view id) {
   for (const auto& r : rule_table())
@@ -31,7 +31,7 @@ bool is_known_rule(std::string_view id) {
 /// Parse `// lcs-lint: allow(RULE[,RULE...]) reason` out of a comment
 /// token. Returns true if the comment is a suppression directive at all
 /// (even a malformed one — those become LINT findings, not silent noise).
-bool parse_suppression(const Token& comment, Suppression* out,
+bool parse_suppression(const Token& comment, detail::SuppressionRec* out,
                        std::vector<Finding>* findings,
                        std::string_view path) {
   // A directive must open the comment (`// lcs-lint: ...`) — prose that
@@ -44,6 +44,7 @@ bool parse_suppression(const Token& comment, Suppression* out,
   if (tag != 0) return false;
 
   out->line = comment.line;
+  out->col = comment.col;
   const auto bad = [&](const std::string& what) {
     findings->push_back(Finding{std::string(path), comment.line, comment.col,
                                 "LINT", what,
@@ -91,43 +92,418 @@ bool parse_suppression(const Token& comment, Suppression* out,
   return true;
 }
 
+/// Apply a file's suppressions to its findings (per-file and project
+/// findings alike). Unsuppressed findings are returned; stale directives
+/// become LINT findings. A malformed directive (no reason, unknown rule)
+/// suppresses nothing: it is already a LINT finding, and honoring it
+/// would let a reason-less allow() pass everywhere except the directive
+/// line.
+std::vector<Finding> apply_suppressions(
+    std::string_view path, const std::vector<detail::SuppressionRec>& sups,
+    std::vector<Finding> raw, int* suppressions_used) {
+  std::vector<Finding> kept;
+  kept.reserve(raw.size());
+  std::vector<bool> used(sups.size(), false);
+
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (std::size_t s = 0; s < sups.size(); ++s) {
+      const detail::SuppressionRec& sup = sups[s];
+      if (sup.malformed || sup.target_line != f.line) continue;
+      if (std::find(sup.rules.begin(), sup.rules.end(), f.rule) ==
+          sup.rules.end())
+        continue;
+      used[s] = true;
+      suppressed = true;
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+
+  // Stale suppressions are themselves findings: an allow() that excuses
+  // nothing rots into a license the next edit silently inherits.
+  for (std::size_t s = 0; s < sups.size(); ++s) {
+    const detail::SuppressionRec& sup = sups[s];
+    if (used[s] || sup.malformed) continue;
+    std::string rules;
+    for (const auto& r : sup.rules) {
+      if (!rules.empty()) rules += ',';
+      rules += r;
+    }
+    kept.push_back(
+        Finding{std::string(path), sup.line, 1, "LINT",
+                "unused lcs-lint suppression for " + rules +
+                    " — it matches no finding on its line",
+                "remove the stale allow() (or move it to the line it "
+                "excuses)"});
+  }
+
+  if (suppressions_used != nullptr) {
+    *suppressions_used = 0;
+    for (const bool u : used)
+      if (u) ++*suppressions_used;
+  }
+  return kept;
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.col, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.col, b.rule, b.message);
+            });
+}
+
+std::string to_hex(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[util::checked_usize(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// The cache key half that is not the file content: if the rule set (or
+/// the cache layout) changes, every entry goes stale at once.
+std::string rules_fingerprint() {
+  std::uint64_t h = fnv1a64("lcs-lint-cache-v1");
+  for (const RuleInfo& r : rule_table()) {
+    h = fnv1a64(r.id, h);
+    h = fnv1a64(r.family, h);
+    h = fnv1a64(r.summary, h);
+    h = fnv1a64(r.rationale, h);
+  }
+  return to_hex(h);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cache: JSON on disk, keyed by (path, content hash) plus the
+// rule fingerprint. The cached payload is the full FileSummary, so a warm
+// run re-reads bytes (to hash them) but never re-lexes.
+// ---------------------------------------------------------------------------
+
+void write_summary_json(JsonWriter& w, const detail::FileSummary& s) {
+  w.begin_object();
+  w.kv("path", s.path);
+  w.kv("hash", to_hex(s.hash));
+  w.key("includes").begin_array();
+  for (const IncludeDirective& d : s.includes) {
+    w.begin_object();
+    w.kv("t", d.target).kv("l", d.line).kv("c", d.col).kv("a", d.angled);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("decls").begin_array();
+  for (const Decl& d : s.outline.decls) {
+    w.begin_object();
+    w.kv("k", static_cast<std::int64_t>(d.kind));
+    w.kv("n", d.name).kv("ns", d.ns).kv("l", d.line).kv("c", d.col);
+    w.kv("fl", d.file_local).kv("def", d.is_definition);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("macros").begin_array();
+  for (const auto& [name, refs] : s.outline.macro_body_refs) {
+    w.begin_object();
+    w.kv("n", name);
+    w.key("refs").begin_array();
+    for (const std::string& r : refs) w.value(r);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("refs").begin_array();
+  for (const Ref& r : s.refs) {
+    w.begin_object();
+    w.kv("n", r.name).kv("l", r.line).kv("c", r.col).kv("x", r.count);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("findings").begin_array();
+  for (const Finding& f : s.raw_findings) {
+    w.begin_object();
+    w.kv("l", f.line).kv("c", f.col).kv("r", f.rule);
+    w.kv("m", f.message).kv("h", f.hint);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("sups").begin_array();
+  for (const detail::SuppressionRec& sup : s.sups) {
+    w.begin_object();
+    w.kv("l", sup.line).kv("c", sup.col).kv("tl", sup.target_line);
+    w.key("rules").begin_array();
+    for (const std::string& r : sup.rules) w.value(r);
+    w.end_array();
+    w.kv("reason", sup.reason).kv("mal", sup.malformed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+int get_int(const JsonValue& v, std::string_view key, const char* what) {
+  const JsonValue* f = v.find(key, what);
+  LCS_CHECK(f != nullptr, what);
+  return util::checked_cast<int>(f->as_int(what));
+}
+const std::string& get_str(const JsonValue& v, std::string_view key,
+                           const char* what) {
+  const JsonValue* f = v.find(key, what);
+  LCS_CHECK(f != nullptr, what);
+  return f->as_string(what);
+}
+bool get_bool(const JsonValue& v, std::string_view key, const char* what) {
+  const JsonValue* f = v.find(key, what);
+  LCS_CHECK(f != nullptr, what);
+  return f->as_bool(what);
+}
+
+std::uint64_t from_hex(const std::string& s) {
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= util::checked_usize(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= util::checked_usize(c - 'a' + 10);
+    else LCS_CHECK(false, "bad hex digit in lint cache");
+  }
+  return v;
+}
+
+detail::FileSummary read_summary_json(const JsonValue& v) {
+  static const char* kW = "lint cache entry";
+  detail::FileSummary s;
+  s.path = get_str(v, "path", kW);
+  s.hash = from_hex(get_str(v, "hash", kW));
+  const JsonValue* inc = v.find("includes", kW);
+  LCS_CHECK(inc != nullptr, kW);
+  for (const JsonValue& e : inc->as_array(kW)) {
+    IncludeDirective d;
+    d.target = get_str(e, "t", kW);
+    d.line = get_int(e, "l", kW);
+    d.col = get_int(e, "c", kW);
+    d.angled = get_bool(e, "a", kW);
+    s.includes.push_back(std::move(d));
+  }
+  const JsonValue* decls = v.find("decls", kW);
+  LCS_CHECK(decls != nullptr, kW);
+  for (const JsonValue& e : decls->as_array(kW)) {
+    Decl d;
+    const int k = get_int(e, "k", kW);
+    LCS_CHECK(k >= 0 && k <= 5, "bad decl kind in lint cache");  // 5 = kMacro
+    d.kind = static_cast<DeclKind>(k);
+    d.name = get_str(e, "n", kW);
+    d.ns = get_str(e, "ns", kW);
+    d.line = get_int(e, "l", kW);
+    d.col = get_int(e, "c", kW);
+    d.file_local = get_bool(e, "fl", kW);
+    d.is_definition = get_bool(e, "def", kW);
+    s.outline.decls.push_back(std::move(d));
+  }
+  const JsonValue* macros = v.find("macros", kW);
+  LCS_CHECK(macros != nullptr, kW);
+  for (const JsonValue& e : macros->as_array(kW)) {
+    std::vector<std::string> refs;
+    const JsonValue* rs = e.find("refs", kW);
+    LCS_CHECK(rs != nullptr, kW);
+    for (const JsonValue& r : rs->as_array(kW)) refs.push_back(r.as_string(kW));
+    s.outline.macro_body_refs[get_str(e, "n", kW)] = std::move(refs);
+  }
+  const JsonValue* refs = v.find("refs", kW);
+  LCS_CHECK(refs != nullptr, kW);
+  for (const JsonValue& e : refs->as_array(kW)) {
+    Ref r;
+    r.name = get_str(e, "n", kW);
+    r.line = get_int(e, "l", kW);
+    r.col = get_int(e, "c", kW);
+    r.count = get_int(e, "x", kW);
+    s.refs.push_back(std::move(r));
+  }
+  const JsonValue* findings = v.find("findings", kW);
+  LCS_CHECK(findings != nullptr, kW);
+  for (const JsonValue& e : findings->as_array(kW)) {
+    Finding f;
+    f.file = s.path;
+    f.line = get_int(e, "l", kW);
+    f.col = get_int(e, "c", kW);
+    f.rule = get_str(e, "r", kW);
+    f.message = get_str(e, "m", kW);
+    f.hint = get_str(e, "h", kW);
+    s.raw_findings.push_back(std::move(f));
+  }
+  const JsonValue* sups = v.find("sups", kW);
+  LCS_CHECK(sups != nullptr, kW);
+  for (const JsonValue& e : sups->as_array(kW)) {
+    detail::SuppressionRec sup;
+    sup.line = get_int(e, "l", kW);
+    sup.col = get_int(e, "c", kW);
+    sup.target_line = get_int(e, "tl", kW);
+    const JsonValue* rs = e.find("rules", kW);
+    LCS_CHECK(rs != nullptr, kW);
+    for (const JsonValue& r : rs->as_array(kW))
+      sup.rules.push_back(r.as_string(kW));
+    sup.reason = get_str(e, "reason", kW);
+    sup.malformed = get_bool(e, "mal", kW);
+    s.sups.push_back(std::move(sup));
+  }
+  return s;
+}
+
+/// Load the cache; any mismatch (schema, fingerprint, parse error) or
+/// corruption degrades to an empty map — a cold run, never a crash.
+std::map<std::string, detail::FileSummary> load_cache(
+    const std::string& path, const std::string& fingerprint) {
+  std::map<std::string, detail::FileSummary> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  try {
+    const JsonValue doc = parse_json(text);
+    static const char* kW = "lint cache";
+    if (get_str(doc, "schema", kW) != "lcs-lint-cache-v1") return out;
+    if (get_str(doc, "fingerprint", kW) != fingerprint) return out;
+    const JsonValue* files = doc.find("files", kW);
+    LCS_CHECK(files != nullptr, kW);
+    for (const JsonValue& e : files->as_array(kW)) {
+      detail::FileSummary s = read_summary_json(e);
+      std::string key = s.path;
+      out.emplace(std::move(key), std::move(s));
+    }
+  } catch (const CheckFailure&) {
+    out.clear();
+  }
+  return out;
+}
+
+void save_cache(const std::string& path, const std::string& fingerprint,
+                const std::vector<detail::FileSummary>& summaries) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("schema", "lcs-lint-cache-v1");
+  w.kv("fingerprint", fingerprint);
+  w.key("files").begin_array();
+  for (const detail::FileSummary& s : summaries) write_summary_json(w, s);
+  w.end_array();
+  w.end_object();
+  w.finish();
+  // Atomic temp-file + rename: a killed run must never tear the cache
+  // (the loader would just degrade to cold, but why make it).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return;  // cache is advisory: unwritable location = no cache
+    f << os.str();
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_table() {
   static const std::vector<RuleInfo> kRules = {
-      {"D1", "no iteration over std::unordered_map/set (hash order is not a "
-             "program order); sort via util/sorted.h or use std::map"},
-      {"D2", "no rand/random_device/clocks outside util/random.* and "
-             "explicitly-suppressed timing report fields"},
-      {"D3", "no ordering, hashing, or uintptr_t round-trips of raw "
-             "pointer values"},
-      {"D4", "no floating-point accumulation in engine/metric code "
-             "(src/congest, src/mst, src/shortcut, src/apps, src/tree, "
-             "src/dynamic, graph/metrics)"},
-      {"S1", "integer narrowing must use util::checked_cast / "
-             "util::truncate_cast (util/cast.h), not ad-hoc static_cast"},
-      {"S2", "no naked std::thread/std::async outside util/worker_pool"},
-      {"S3", "status/result returns in io/persist/cache/bytes headers must "
-             "be [[nodiscard]]"},
+      {"D1", "determinism",
+       "no iteration over std::unordered_map/set (hash order is not a "
+       "program order); sort via util/sorted.h or use std::map",
+       "hash-order iteration makes observables depend on the standard "
+       "library and the pointer values of the day",
+       4},
+      {"D2", "determinism",
+       "no rand/random_device/clocks outside util/random.* and "
+       "explicitly-suppressed timing report fields",
+       "every observable must be a pure function of the seed, or goldens "
+       "and the serve/run byte-identity gates cannot exist",
+       4},
+      {"D3", "determinism",
+       "no ordering, hashing, or uintptr_t round-trips of raw "
+       "pointer values",
+       "addresses differ run to run, so anything derived from them is "
+       "invisible nondeterminism until a golden breaks",
+       4},
+      {"D4", "determinism",
+       "no floating-point accumulation in engine/metric code "
+       "(src/congest, src/mst, src/shortcut, src/apps, src/tree, "
+       "src/dynamic, graph/metrics)",
+       "FP addition is not associative: thread count and shard boundaries "
+       "would become observable in pinned metrics",
+       4},
+      {"S1", "safety",
+       "integer narrowing must use util::checked_cast / "
+       "util::truncate_cast (util/cast.h), not ad-hoc static_cast",
+       "silent truncation turns an out-of-range size into a wrong answer "
+       "instead of a diagnosis",
+       4},
+      {"S2", "safety",
+       "no naked std::thread/std::async outside util/worker_pool",
+       "ad-hoc threads bypass the deterministic shard/merge discipline "
+       "the engine's guarantees are built on",
+       5},
+      {"S3", "safety",
+       "status/result returns in io/persist/cache/bytes headers must "
+       "be [[nodiscard]]",
+       "a silently discarded result in those layers is a swallowed "
+       "failure or wasted I/O",
+       4},
+      {"S4", "safety",
+       "no mutation of by-reference-captured shared state inside "
+       "WorkerPool::run callbacks (per-worker slots and atomics are the "
+       "idiom)",
+       "concurrent workers race on shared writes and the merge order "
+       "becomes an observable TSan may only catch under load",
+       4},
+      {"A1", "architecture",
+       "no include edge climbing the layering committed in "
+       "src/lint/layers.txt",
+       "a lower layer seeing a higher one inverts the dependency "
+       "structure the system is grown along",
+       4},
+      {"A2", "architecture", "no include cycles between project headers",
+       "cyclic headers make build order and incremental analysis "
+       "ill-defined",
+       4},
+      {"A3", "architecture",
+       "include what you use: a project symbol's defining header must be "
+       "included directly, not reached transitively",
+       "a refactor of an intermediate header's includes silently breaks "
+       "every file that leaned on it",
+       4},
+      {"A4", "architecture",
+       "no unused direct project includes",
+       "dead includes are false dependency edges: they slow builds and "
+       "misdirect every reader and tool",
+       4},
+      {"U1", "deadcode",
+       "no dead file-external symbols: a non-static namespace-scope "
+       "definition in src/ referenced by no other TU is file-local or "
+       "deleted (registry register_* entry points exempt)",
+       "dead exports are API surface nothing pays for and the first "
+       "place bit-rot hides",
+       4},
   };
   return kRules;
 }
 
-std::vector<Finding> lint_source(std::string_view path,
-                                 std::string_view source,
-                                 int* suppressions_used) {
-  const std::vector<Token> tokens = lex(source);
+namespace detail {
+
+FileSummary analyze_source(std::string_view path, std::string_view source) {
+  FileSummary s;
+  s.path = std::string(path);
+  s.hash = fnv1a64(source);
+
+  std::string splice_storage;
+  const std::vector<Token> tokens = lex(source, &splice_storage);
 
   // Split comments (suppression carriers) from code (what rules see).
   std::vector<Token> code;
   code.reserve(tokens.size());
-  std::vector<Finding> findings;
-  std::vector<Suppression> sups;
   std::set<int> code_lines;
   for (const Token& t : tokens) {
     if (t.kind == TokKind::kComment) {
-      Suppression s;
-      if (parse_suppression(t, &s, &findings, path)) sups.push_back(s);
+      SuppressionRec sup;
+      if (parse_suppression(t, &sup, &s.raw_findings, path))
+        s.sups.push_back(std::move(sup));
       continue;
     }
     code.push_back(t);
@@ -137,82 +513,168 @@ std::vector<Finding> lint_source(std::string_view path,
   // A suppression covers its own line if code shares it; a full-line
   // comment covers the next code line (within two lines, so a directive
   // cannot drift away from what it excuses).
-  for (Suppression& s : sups) {
-    if (code_lines.count(s.line) > 0) {
-      s.target_line = s.line;
+  for (SuppressionRec& sup : s.sups) {
+    if (code_lines.count(sup.line) > 0) {
+      sup.target_line = sup.line;
     } else {
-      s.target_line = 0;
-      for (int l = s.line + 1; l <= s.line + 2; ++l) {
-        if (code_lines.count(l) > 0) { s.target_line = l; break; }
+      sup.target_line = 0;
+      for (int l = sup.line + 1; l <= sup.line + 2; ++l) {
+        if (code_lines.count(l) > 0) {
+          sup.target_line = l;
+          break;
+        }
       }
     }
   }
 
-  // Run the rules.
-  std::vector<Finding> raw;
-  detail::RuleContext ctx{
+  // Structure: includes, outline, refs (comment tokens are ignored by
+  // all three, and the bol flags survive in `code`).
+  s.includes = extract_includes(code);
+  s.outline = parse_outline(code);
+  s.refs = collect_refs(code);
+
+  // Per-file rules.
+  RuleContext ctx{
       path, code,
       [&](int line, int col, std::string_view rule, std::string message,
           std::string hint) {
-        raw.push_back(Finding{std::string(path), line, col, std::string(rule),
-                              std::move(message), std::move(hint)});
+        s.raw_findings.push_back(Finding{std::string(path), line, col,
+                                         std::string(rule),
+                                         std::move(message), std::move(hint)});
       }};
-  detail::check_d1_unordered_iteration(ctx);
-  detail::check_d2_nondeterminism_sources(ctx);
-  detail::check_d3_pointer_ordering(ctx);
-  detail::check_d4_float_accumulation(ctx);
-  detail::check_s1_unchecked_narrowing(ctx);
-  detail::check_s2_naked_threads(ctx);
-  detail::check_s3_nodiscard_status(ctx);
+  check_d1_unordered_iteration(ctx);
+  check_d2_nondeterminism_sources(ctx);
+  check_d3_pointer_ordering(ctx);
+  check_d4_float_accumulation(ctx);
+  check_s1_unchecked_narrowing(ctx);
+  check_s2_naked_threads(ctx);
+  check_s3_nodiscard_status(ctx);
+  check_s4_shared_capture(ctx);
 
-  // Apply suppressions. A malformed directive (no reason, unknown rule)
-  // suppresses nothing: it is already a LINT finding, and honoring it would
-  // let a reason-less allow() pass everywhere except the directive line.
-  for (Finding& f : raw) {
-    bool suppressed = false;
-    for (Suppression& s : sups) {
-      if (s.malformed || s.target_line != f.line) continue;
-      if (std::find(s.rules.begin(), s.rules.end(), f.rule) ==
-          s.rules.end())
-        continue;
-      s.used = true;
-      suppressed = true;
-    }
-    if (!suppressed) findings.push_back(std::move(f));
-  }
+  return s;
+}
 
-  // Stale suppressions are themselves findings: an allow() that excuses
-  // nothing rots into a license the next edit silently inherits.
-  for (const Suppression& s : sups) {
-    if (s.used || s.malformed) continue;
-    std::string rules;
-    for (const auto& r : s.rules) {
-      if (!rules.empty()) rules += ',';
-      rules += r;
-    }
-    findings.push_back(
-        Finding{std::string(path), s.line, 1, "LINT",
-                "unused lcs-lint suppression for " + rules +
-                    " — it matches no finding on its line",
-                "remove the stale allow() (or move it to the line it "
-                "excuses)"});
-  }
+}  // namespace detail
 
-  if (suppressions_used != nullptr) {
-    *suppressions_used = 0;
-    for (const Suppression& s : sups)
-      if (s.used) ++*suppressions_used;
-  }
-
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.line, a.col, a.rule) <
-                     std::tie(b.line, b.col, b.rule);
-            });
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view source,
+                                 int* suppressions_used) {
+  detail::FileSummary s = detail::analyze_source(path, source);
+  std::vector<Finding> findings = apply_suppressions(
+      path, s.sups, std::move(s.raw_findings), suppressions_used);
+  sort_findings(&findings);
   return findings;
 }
 
-LintResult lint_paths(const std::vector<std::string>& paths) {
+LintResult lint_sources(const std::vector<SourceFile>& files,
+                        const Options& options) {
+  LintResult result;
+
+  // Canonical paths, sorted, first-wins on duplicates.
+  struct Entry {
+    std::string path;
+    const std::string* source;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(files.size());
+  for (const SourceFile& f : files) {
+    entries.push_back(Entry{include_key(f.path), &f.source});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.path < b.path;
+                   });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return a.path == b.path;
+                            }),
+                entries.end());
+
+  const std::string fingerprint = rules_fingerprint();
+  std::map<std::string, detail::FileSummary> cache;
+  if (!options.cache_file.empty()) {
+    cache = load_cache(options.cache_file, fingerprint);
+  }
+
+  std::vector<detail::FileSummary> summaries;
+  summaries.reserve(entries.size());
+  for (const Entry& e : entries) {
+    const std::uint64_t h = fnv1a64(*e.source);
+    const auto it = cache.find(e.path);
+    if (it != cache.end() && it->second.hash == h) {
+      summaries.push_back(it->second);
+      ++result.cache_hits;
+    } else {
+      summaries.push_back(detail::analyze_source(e.path, *e.source));
+      ++result.files_lexed;
+    }
+    ++result.files_scanned;
+  }
+  if (!options.cache_file.empty()) {
+    save_cache(options.cache_file, fingerprint, summaries);
+  }
+
+  // The include graph over the scanned set.
+  std::vector<std::pair<std::string, std::vector<IncludeDirective>>> gfiles;
+  gfiles.reserve(summaries.size());
+  for (const detail::FileSummary& s : summaries) {
+    gfiles.emplace_back(s.path, s.includes);
+  }
+  const IncludeGraph graph = IncludeGraph::build(gfiles);
+  result.graph_dot = graph.to_dot();
+
+  LayerManifest layers;
+  if (!options.layers_text.empty()) {
+    std::string err;
+    layers = LayerManifest::parse(options.layers_text, &err);
+    if (!err.empty()) {
+      result.findings.push_back(
+          Finding{"src/lint/layers.txt", 1, 1, "LINT", err,
+                  "fix the manifest: `layer <name> <dir> [<dir>...]`, "
+                  "lowest layer first"});
+    }
+  }
+
+  // Findings per file: the cached/fresh per-file findings plus the
+  // project rules, then suppressions applied with that file's directives.
+  std::map<std::string, std::vector<Finding>> per_file;
+  for (const detail::FileSummary& s : summaries) {
+    std::vector<Finding>& bucket = per_file[s.path];
+    bucket.insert(bucket.end(), s.raw_findings.begin(), s.raw_findings.end());
+  }
+  detail::run_project_rules(summaries, graph, layers, [&](Finding f) {
+    per_file[f.file].push_back(std::move(f));
+  });
+
+  for (const detail::FileSummary& s : summaries) {
+    const auto it = per_file.find(s.path);
+    std::vector<Finding> raw;
+    if (it != per_file.end()) {
+      raw = std::move(it->second);
+      per_file.erase(it);
+    }
+    int used = 0;
+    std::vector<Finding> kept =
+        apply_suppressions(s.path, s.sups, std::move(raw), &used);
+    result.suppressions_used += used;
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(kept.begin()),
+                           std::make_move_iterator(kept.end()));
+  }
+  // Findings anchored at paths outside the scanned set (should not
+  // happen, but never drop a finding on the floor).
+  for (auto& [path, leftover] : per_file) {
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(leftover.begin()),
+                           std::make_move_iterator(leftover.end()));
+  }
+
+  sort_findings(&result.findings);
+  return result;
+}
+
+LintResult lint_paths(const std::vector<std::string>& paths,
+                      const Options& options) {
   namespace fs = std::filesystem;
 
   std::vector<std::string> files;
@@ -237,27 +699,93 @@ LintResult lint_paths(const std::vector<std::string>& paths) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  LintResult result;
+  Options effective = options;
+  if (effective.layers_text.empty()) {
+    // Auto-discover the committed manifest relative to the working
+    // directory and each input path.
+    std::vector<std::string> candidates = {"src/lint/layers.txt"};
+    for (const std::string& p : paths) {
+      candidates.push_back(p + "/lint/layers.txt");
+      candidates.push_back(p + "/src/lint/layers.txt");
+      const fs::path parent = fs::path(p).parent_path();
+      if (!parent.empty()) {
+        candidates.push_back((parent / "src/lint/layers.txt").generic_string());
+      }
+    }
+    for (const std::string& c : candidates) {
+      std::ifstream in(c, std::ios::binary);
+      if (!in) continue;
+      std::stringstream buf;
+      buf << in.rdbuf();
+      effective.layers_text = buf.str();
+      break;
+    }
+  }
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& f : files) {
     std::ifstream in(f, std::ios::binary);
     std::stringstream buf;
     buf << in.rdbuf();
-    const std::string source = buf.str();
-    int used = 0;
-    std::vector<Finding> file_findings = lint_source(f, source, &used);
-    result.findings.insert(result.findings.end(),
-                           std::make_move_iterator(file_findings.begin()),
-                           std::make_move_iterator(file_findings.end()));
-    result.suppressions_used += used;
-    ++result.files_scanned;
+    sources.push_back(SourceFile{f, buf.str()});
   }
-  return result;
+  return lint_sources(sources, effective);
 }
 
 std::string format_finding(const Finding& f) {
   std::string out = f.file + ":" + std::to_string(f.line) + ":" +
                     std::to_string(f.col) + ": " + f.rule + ": " + f.message;
   if (!f.hint.empty()) out += " (fix: " + f.hint + ")";
+  return out;
+}
+
+std::string format_findings_json(const LintResult& result) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.kv("schema", "lcs-lint-findings-v1");
+  w.kv("files_scanned", result.files_scanned);
+  w.kv("files_lexed", result.files_lexed);
+  w.kv("cache_hits", result.cache_hits);
+  w.kv("suppressions_used", result.suppressions_used);
+  w.key("findings").begin_array();
+  for (const Finding& f : result.findings) {
+    w.begin_object();
+    w.kv("file", f.file);
+    w.kv("line", f.line);
+    w.kv("col", f.col);
+    w.kv("rule", f.rule);
+    w.kv("message", f.message);
+    w.kv("hint", f.hint);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.finish();
+  return os.str();
+}
+
+std::string format_rule_table() {
+  std::string out =
+      "lcs_lint rules (suppress a line with: // lcs-lint: allow(RULE) "
+      "reason)\n\n";
+  const auto row = [&](std::string_view id, std::string_view family,
+                       int fixtures, std::string_view summary,
+                       std::string_view rationale) {
+    out += std::string(id) + "  [" + std::string(family) +
+           ", fixtures=" + std::to_string(fixtures) + "]\n";
+    out += "  what: " + std::string(summary) + "\n";
+    out += "  why:  " + std::string(rationale) + "\n";
+  };
+  for (const RuleInfo& r : rule_table()) {
+    row(r.id, r.family, r.fixtures, r.summary, r.rationale);
+  }
+  row("LINT", "hygiene", 2,
+      "malformed or stale lcs-lint suppression directives (reason "
+      "missing, unknown rule, allow() matching no finding)",
+      "a suppression that excuses nothing is a license the next edit "
+      "silently inherits; LINT itself cannot be suppressed");
   return out;
 }
 

@@ -1,0 +1,84 @@
+/// \file parse.h
+/// Declaration-level outline parser for the lcs_lint semantic rules.
+///
+/// This is not a C++ parser. It is a scope-stack walk over the token
+/// stream (lint/lexer.h) that recovers exactly what the architecture
+/// rules need and nothing more:
+///
+///  - which *namespace-scope* symbols a file declares or defines
+///    (types, functions, aliases, variables, macros) — the per-header
+///    exported-symbol index behind A3 (missing direct include),
+///    A4 (unused direct include), and U1 (dead file-external symbol);
+///  - which identifiers a file *references*, with the first physical
+///    use position (for A3's "symbol used here" anchor);
+///  - which identifiers each macro's replacement text references (macro
+///    body identifiers also count as ordinary refs, which is how U1
+///    keeps a helper alive when its only caller is a macro expansion).
+///
+/// Member declarations inside class bodies are deliberately not
+/// indexed: members are reached through their type, so the type name
+/// is the export. Function and type *bodies* are skipped for decls but
+/// scanned for refs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace lcs::lint {
+
+enum class DeclKind {
+  kNamespace,  ///< namespace NAME { (named namespaces only)
+  kType,       ///< class / struct / enum / union NAME
+  kFunction,   ///< NAME(...) declaration or definition
+  kAlias,      ///< using NAME = ...; or typedef ... NAME;
+  kVariable,   ///< namespace-scope variable / constant
+  kMacro,      ///< #define NAME
+};
+
+/// One namespace-scope declaration recovered from a file.
+struct Decl {
+  DeclKind kind = DeclKind::kType;
+  std::string name;        ///< unqualified name
+  std::string ns;          ///< enclosing namespace path, e.g. "lcs::util"
+  int line = 0;            ///< 1-based physical line of the name token
+  int col = 0;
+  bool file_local = false;    ///< static or inside an anonymous namespace
+  bool is_definition = false; ///< has a body / initializer (vs forward decl)
+};
+
+/// First reference to an identifier in a file. Identifiers inside
+/// comments and string literals never count; neither do member accesses
+/// (`x.foo`, `p->foo`) nor `std::`-qualified names — those resolve
+/// through their object/namespace, not through a project header's
+/// top-level export.
+struct Ref {
+  std::string name;
+  int line = 0;   ///< first occurrence
+  int col = 0;
+  int count = 0;  ///< total occurrences in the file (all positions)
+};
+
+struct Outline {
+  std::vector<Decl> decls;
+  /// Macro name -> identifiers referenced in its replacement text.
+  /// Feeds the U1 liveness fixpoint (see arch_rules.cpp).
+  std::map<std::string, std::vector<std::string>> macro_body_refs;
+};
+
+/// Walk `toks` (from lex(), splice-aware) and recover the outline.
+Outline parse_outline(const std::vector<Token>& toks);
+
+/// Collect the first reference to each distinct identifier. See Ref for
+/// what is excluded. `#include` directives contribute nothing (the
+/// header name in `#include <vector>` is not a use of `vector`).
+std::vector<Ref> collect_refs(const std::vector<Token>& toks);
+
+/// True if `name` is a C++ keyword (or contextual keyword) — never a
+/// project symbol.
+bool is_cpp_keyword(std::string_view name);
+
+}  // namespace lcs::lint

@@ -1,5 +1,8 @@
 #include "lint/rules.h"
 
+#include "lint/lexer.h"
+#include "lint/parse.h"
+
 #include <array>
 #include <cstddef>
 #include <initializer_list>
@@ -516,6 +519,165 @@ void check_s3_nodiscard_status(const RuleContext& ctx) {
                      "failure or wasted I/O",
                  "mark it [[nodiscard]]; the -Werror build then rejects any "
                  "call site that drops the result");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S4 — no shared-mutable by-reference capture inside WorkerPool callbacks
+// ---------------------------------------------------------------------------
+
+void check_s4_shared_capture(const RuleContext& ctx) {
+  // The deterministic idiom for pool callbacks is: read shared inputs,
+  // write only through a per-worker slot (`results[w] = ...`) or an
+  // atomic cursor. A bare write to a by-reference-captured name from
+  // inside `pool.run(...)` is a race (or an order-dependent merge) the
+  // golden matrix can only catch after the fact.
+  if (path_ends_with(ctx.path, "util/worker_pool.h") ||
+      path_ends_with(ctx.path, "util/worker_pool.cpp"))
+    return;
+
+  static const std::set<std::string, std::less<>> kMutatingMembers = {
+      "push_back", "emplace_back", "insert", "erase",  "clear",
+      "resize",    "reserve",      "assign", "append", "pop_back"};
+  static const std::set<std::string, std::less<>> kAssignOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+
+  const auto& t = ctx.code;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    // Receiver whose name mentions a pool, calling run / run_staged.
+    if (!is_any_ident(t[i]) ||
+        t[i].text.find("pool") == std::string_view::npos) {
+      continue;
+    }
+    if (!(is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->"))) continue;
+    if (!(is_ident(t[i + 2], "run") || is_ident(t[i + 2], "run_staged")))
+      continue;
+    if (!is_punct(t[i + 3], "(")) continue;
+
+    // Locate the lambda argument: first `[` inside the call.
+    int call_depth = 0;
+    std::size_t lam = 0;
+    for (std::size_t j = i + 3; j < t.size(); ++j) {
+      if (is_punct(t[j], "(")) ++call_depth;
+      else if (is_punct(t[j], ")")) {
+        if (--call_depth == 0) break;
+      } else if (is_punct(t[j], "[") && call_depth == 1) {
+        lam = j;
+        break;
+      }
+    }
+    if (lam == 0) continue;
+
+    // Capture list: `[&]` (default by-ref) or explicit `&name` /
+    // `&name = expr` entries. By-value entries are safe by construction.
+    bool default_by_ref = false;
+    std::set<std::string, std::less<>> by_ref;
+    std::set<std::string, std::less<>> by_value;
+    std::size_t cap_end = lam;
+    for (std::size_t j = lam + 1; j < t.size(); ++j) {
+      if (is_punct(t[j], "]")) {
+        cap_end = j;
+        break;
+      }
+      if (is_punct(t[j], "&")) {
+        if (j + 1 < t.size() && is_any_ident(t[j + 1])) {
+          by_ref.insert(std::string(t[j + 1].text));
+          ++j;
+        } else {
+          default_by_ref = true;
+        }
+      } else if (is_any_ident(t[j]) && !is_ident(t[j], "this")) {
+        by_value.insert(std::string(t[j].text));
+      }
+    }
+    if (cap_end == lam) continue;
+
+    // Parameter list: every identifier in it is local to the callback
+    // (types too — overbroad, but only ever in the safe direction).
+    std::set<std::string, std::less<>> locals;
+    std::size_t body = cap_end + 1;
+    if (body < t.size() && is_punct(t[body], "(")) {
+      int d = 0;
+      for (std::size_t j = body; j < t.size(); ++j) {
+        if (is_punct(t[j], "(")) ++d;
+        else if (is_punct(t[j], ")")) {
+          if (--d == 0) { body = j + 1; break; }
+        } else if (is_any_ident(t[j]) && !is_cpp_keyword(t[j].text)) {
+          locals.insert(std::string(t[j].text));
+        }
+      }
+    }
+    while (body < t.size() && !is_punct(t[body], "{")) {
+      if (is_punct(t[body], ";")) break;  // no body (declaration-ish)
+      ++body;
+    }
+    if (body >= t.size() || !is_punct(t[body], "{")) continue;
+    int d = 0;
+    std::size_t body_end = body;
+    for (std::size_t j = body; j < t.size(); ++j) {
+      if (is_punct(t[j], "{")) ++d;
+      else if (is_punct(t[j], "}")) {
+        if (--d == 0) { body_end = j; break; }
+      }
+    }
+
+    // Pass 1 over the body: names declared locally (declarations read as
+    // `Type name =/{/;/(...)` — the name is an identifier preceded by an
+    // identifier / `auto` / `>` / `*` / `&` / `const` and followed by an
+    // initializer or terminator; range-for `:` included).
+    for (std::size_t j = body + 1; j + 1 < body_end; ++j) {
+      if (!is_any_ident(t[j]) || is_cpp_keyword(t[j].text)) continue;
+      const Token& prev = t[j - 1];
+      const Token& next = t[j + 1];
+      const bool decl_prev =
+          is_any_ident(prev) || is_punct(prev, ">") || is_punct(prev, "*") ||
+          is_punct(prev, "&") || is_punct(prev, ">>");
+      const bool decl_next = is_punct(next, "=") || is_punct(next, "{") ||
+                             is_punct(next, ";") || is_punct(next, ":") ||
+                             is_punct(next, "(");
+      if (decl_prev && decl_next) locals.insert(std::string(t[j].text));
+    }
+
+    // Pass 2: bare writes to by-ref-captured non-local names. A subscript
+    // write (`slots[w] = ...`) is the per-worker-slot idiom and passes.
+    for (std::size_t j = body + 1; j + 1 < body_end; ++j) {
+      if (!is_any_ident(t[j]) || is_cpp_keyword(t[j].text)) continue;
+      const std::string_view name = t[j].text;
+      const bool captured_ref =
+          in_set(by_ref, name) ||
+          (default_by_ref && !in_set(by_value, name));
+      if (!captured_ref || in_set(locals, name)) continue;
+      const Token& prev = t[j - 1];
+      const Token& next = t[j + 1];
+      if (is_punct(prev, ".") || is_punct(prev, "->")) continue;
+      if (is_punct(next, "[")) continue;  // per-worker slot
+      // Declarations inside the body were collected in pass 1; a name
+      // that is also a local is already excluded above.
+      bool writes = false;
+      std::string via;
+      if (next.kind == TokKind::kPunct && in_set(kAssignOps, next.text)) {
+        writes = true;
+        via = cat({"'", name, " ", next.text, "'"});
+      } else if (is_punct(next, "++") || is_punct(next, "--") ||
+                 is_punct(prev, "++") || is_punct(prev, "--")) {
+        writes = true;
+        via = cat({"'", name, "' increment/decrement"});
+      } else if ((is_punct(next, ".") || is_punct(next, "->")) &&
+                 j + 3 < body_end && is_any_ident(t[j + 2]) &&
+                 in_set(kMutatingMembers, t[j + 2].text) &&
+                 is_punct(t[j + 3], "(")) {
+        writes = true;
+        via = cat({"'", name, ".", t[j + 2].text, "(...)'"});
+      }
+      if (!writes) continue;
+      ctx.report(
+          t[j].line, t[j].col, "S4",
+          cat({"WorkerPool callback mutates by-reference capture ", via,
+               " outside the per-worker-slot idiom — concurrent workers "
+               "race on it and the merge order becomes an observable"}),
+          "write through a per-worker slot (`out[w] = ...`) and merge "
+          "after run() returns, or use an atomic cursor");
     }
   }
 }

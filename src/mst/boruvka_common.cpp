@@ -1,5 +1,10 @@
 #include "mst/boruvka_common.h"
 
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "mst/mwoe.h"
+#include "shortcut/superstep.h"
 #include "util/cast.h"
 #include "util/check.h"
 

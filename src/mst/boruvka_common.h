@@ -12,7 +12,8 @@
 /// so marked edges are exactly the eventual merge edges).
 #pragma once
 
-#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
 #include "graph/partition.h"
 #include "mst/mwoe.h"
 #include "shortcut/superstep.h"

@@ -2,9 +2,16 @@
 
 #include <cmath>
 
+#include "congest/network.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "mst/boruvka_common.h"
+#include "mst/mwoe.h"
+#include "shortcut/find_shortcut.h"
 #include "shortcut/part_routing.h"
+#include "shortcut/superstep.h"
 #include "shortcut/tree_ops.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"

@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/superstep.h"
 #include "util/check.h"
 
 namespace lcs {

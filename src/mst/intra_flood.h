@@ -7,6 +7,7 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
 #include "graph/partition.h"
 #include "shortcut/superstep.h"
 

@@ -1,5 +1,9 @@
 #include "mst/mwoe.h"
 
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/superstep.h"
 #include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"

@@ -5,9 +5,17 @@
 #include <deque>
 #include <map>
 
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "graph/union_find.h"
 #include "mst/boruvka_common.h"
+#include "mst/mwoe.h"
+#include "shortcut/superstep.h"
 #include "shortcut/tree_ops.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

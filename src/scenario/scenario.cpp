@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
+#include "graph/partition.h"
 #include "util/cast.h"
 #include "util/check.h"
 

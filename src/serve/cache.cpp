@@ -5,9 +5,12 @@
 #include <iostream>
 #include <utility>
 
+#include "driver/run_driver.h"
 #include "graph/io.h"
+#include "graph/partition.h"
+#include "scenario/scenario.h"
+#include "shortcut/persist.h"
 #include "util/check.h"
-#include "util/hash.h"
 
 namespace lcs::serve {
 

@@ -13,10 +13,14 @@
 #include <utility>
 
 #include "driver/run_driver.h"
+#include "scenario/scenario.h"
+#include "serve/cache.h"
+#include "shortcut/persist.h"
 #include "util/cast.h"
 #include "util/check.h"
 #include "util/json_reader.h"
 #include "util/json_writer.h"
+#include "util/worker_pool.h"
 
 namespace lcs::serve {
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "scenario/scenario.h"
 #include "shortcut/backend/builtins.h"
 #include "util/check.h"
 

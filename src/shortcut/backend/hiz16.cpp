@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "scenario/scenario.h"
+#include "shortcut/backend/backend.h"
 #include "shortcut/backend/builtins.h"
 #include "shortcut/find_shortcut.h"
 

@@ -29,10 +29,14 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph.h"
 #include "graph/partition.h"
+#include "scenario/scenario.h"
+#include "shortcut/backend/backend.h"
 #include "shortcut/backend/builtins.h"
 #include "shortcut/persist.h"
 #include "shortcut/quality.h"
+#include "tree/spanning_tree.h"
 #include "util/check.h"
 
 namespace lcs::backend {

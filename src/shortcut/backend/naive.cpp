@@ -11,7 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "graph/graph.h"
 #include "graph/partition.h"
+#include "scenario/scenario.h"
+#include "shortcut/backend/backend.h"
 #include "shortcut/backend/builtins.h"
 #include "shortcut/quality.h"
 

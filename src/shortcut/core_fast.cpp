@@ -4,7 +4,14 @@
 #include <cmath>
 #include <queue>
 
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/core_slow.h"
 #include "shortcut/tree_ops.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"

@@ -17,6 +17,8 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
 #include "graph/partition.h"
 #include "shortcut/core_slow.h"
 #include "tree/spanning_tree.h"

@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <set>
 
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
 #include "graph/partition.h"
 #include "shortcut/shortcut.h"
 #include "tree/spanning_tree.h"

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <set>
 
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/shortcut.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/core_fast.h"
 #include "shortcut/core_slow.h"
+#include "shortcut/representation.h"
+#include "shortcut/shortcut.h"
 #include "shortcut/superstep.h"
 #include "shortcut/tree_ops.h"
 #include "shortcut/verification.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 #include "util/random.h"

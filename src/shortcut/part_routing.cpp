@@ -2,6 +2,13 @@
 
 #include <algorithm>
 
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/representation.h"
+#include "shortcut/superstep.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

@@ -20,6 +20,8 @@
 #include <limits>
 
 #include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
 #include "graph/partition.h"
 #include "shortcut/representation.h"
 #include "shortcut/superstep.h"

@@ -7,7 +7,10 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph.h"
 #include "graph/io.h"
+#include "graph/partition.h"
+#include "tree/spanning_tree.h"
 #include "util/bytes.h"
 #include "util/cast.h"
 #include "util/check.h"

@@ -4,6 +4,9 @@
 #include <deque>
 #include <utility>
 
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

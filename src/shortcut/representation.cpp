@@ -2,7 +2,12 @@
 
 #include <algorithm>
 
+#include "congest/network.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/shortcut.h"
 #include "shortcut/tree_routing.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

@@ -14,6 +14,8 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
 #include "graph/partition.h"
 #include "shortcut/shortcut.h"
 #include "tree/spanning_tree.h"

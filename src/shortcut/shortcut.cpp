@@ -4,7 +4,10 @@
 #include <deque>
 #include <limits>
 
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "graph/union_find.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

@@ -1,6 +1,13 @@
 #include "shortcut/superstep.h"
 
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/representation.h"
 #include "shortcut/tree_routing.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

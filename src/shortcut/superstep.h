@@ -26,6 +26,8 @@
 #include <optional>
 
 #include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
 #include "graph/partition.h"
 #include "shortcut/representation.h"
 #include "tree/spanning_tree.h"

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
 #include "tree/spanning_tree.h"
 
 namespace lcs {

@@ -4,6 +4,13 @@
 #include <queue>
 #include <vector>
 
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/shortcut.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

@@ -28,6 +28,8 @@
 #include <functional>
 
 #include "congest/network.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/shortcut.h"
 #include "tree/spanning_tree.h"
 

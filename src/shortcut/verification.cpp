@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "congest/network.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "shortcut/representation.h"
+#include "shortcut/superstep.h"
+#include "tree/spanning_tree.h"
 #include "util/check.h"
 
 namespace lcs {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include "congest/network.h"
+#include "congest/process.h"
 #include "graph/partition.h"
 #include "shortcut/representation.h"
 #include "shortcut/superstep.h"

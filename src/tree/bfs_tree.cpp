@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <limits>
 
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/process.h"
+#include "graph/graph.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 #include "util/check.h"
 

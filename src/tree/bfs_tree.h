@@ -12,6 +12,7 @@
 #pragma once
 
 #include "congest/network.h"
+#include "graph/graph.h"
 #include "tree/spanning_tree.h"
 
 namespace lcs {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "graph/graph.h"
 #include "util/check.h"
 
 namespace lcs {

@@ -6,8 +6,12 @@
 #include "apps/aggregate.h"
 #include "apps/components.h"
 #include "apps/mincut.h"
+#include "congest/process.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "graph/reference.h"
+#include "shortcut/part_routing.h"
 #include "test_util.h"
 #include "util/random.h"
 

@@ -11,7 +11,6 @@
 #include "scenario/scenario.h"
 #include "shortcut/backend/backend.h"
 #include "shortcut/find_shortcut.h"
-#include "shortcut/quality.h"
 #include "shortcut/shortcut.h"
 #include "tree/bfs_tree.h"
 #include "tree/spanning_tree.h"

@@ -2,6 +2,7 @@
 
 #include "congest/network.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "graph/metrics.h"
 #include "tree/bfs_tree.h"
 #include "tree/spanning_tree.h"

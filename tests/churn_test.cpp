@@ -6,11 +6,11 @@
 #include <vector>
 
 #include "dynamic/churn.h"
-#include "graph/generators.h"
+#include "dynamic/verified.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
-#include "shortcut/quality.h"
 #include "scenario/scenario.h"
+#include "shortcut/quality.h"
 #include "util/check.h"
 
 namespace lcs::dynamic {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "congest/message.h"
 #include "congest/network.h"
+#include "congest/process.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "stress_util.h"
 #include "util/cast.h"
 #include "util/check.h"

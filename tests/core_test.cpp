@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include "congest/process.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/core_fast.h"
 #include "shortcut/core_slow.h"
 #include "shortcut/existential.h"
 #include "shortcut/shortcut.h"
 #include "test_util.h"
+#include "tree/spanning_tree.h"
 
 namespace lcs {
 namespace {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/existential.h"
 #include "shortcut/shortcut.h"
 #include "tree/spanning_tree.h"

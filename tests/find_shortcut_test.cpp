@@ -3,11 +3,15 @@
 #include <cmath>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/existential.h"
 #include "shortcut/find_shortcut.h"
 #include "shortcut/shortcut.h"
 #include "test_util.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
+#include "util/check.h"
 
 namespace lcs {
 namespace {

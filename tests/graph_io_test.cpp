@@ -9,6 +9,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "graph/partition.h"
 #include "util/cast.h"
 #include "util/check.h"
 

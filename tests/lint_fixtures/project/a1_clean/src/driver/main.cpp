@@ -1,0 +1,6 @@
+#include "util/low.h"
+
+int main() {
+  LowThing low;
+  return low.v;
+}

@@ -1,0 +1,7 @@
+// lint-fixture-expect: LINT:4
+#pragma once
+
+// lcs-lint: allow(A1) stale — the include it excused was removed
+struct LowThing {
+  int v = 0;
+};

@@ -1,0 +1,7 @@
+// lint-fixture-suppressions: 1
+#pragma once
+#include "driver/high.h"  // lcs-lint: allow(A1) migration shim until HighThing moves down a layer
+
+struct LowThing {
+  HighThing inner;
+};

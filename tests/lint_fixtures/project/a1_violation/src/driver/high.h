@@ -1,0 +1,5 @@
+#pragma once
+
+struct HighThing {
+  int v = 0;
+};

@@ -1,0 +1,8 @@
+#include "driver/high.h"
+#include "util/low.h"
+
+int main() {
+  LowThing low;
+  HighThing high;
+  return low.inner.v + high.v;
+}

@@ -1,0 +1,7 @@
+// lint-fixture-expect: A1:3
+#pragma once
+#include "driver/high.h"
+
+struct LowThing {
+  HighThing inner;
+};

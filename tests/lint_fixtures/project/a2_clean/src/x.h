@@ -1,0 +1,5 @@
+#pragma once
+
+struct XThing {
+  int v = 0;
+};

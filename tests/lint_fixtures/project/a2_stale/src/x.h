@@ -1,0 +1,7 @@
+// lint-fixture-expect: LINT:4
+#pragma once
+
+// lcs-lint: allow(A2) stale — the cycle this excused was broken
+struct XThing {
+  int v = 0;
+};

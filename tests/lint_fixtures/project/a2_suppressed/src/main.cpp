@@ -1,0 +1,10 @@
+#include "x.h"
+#include "y.h"
+
+int main() {
+  XThing x;
+  YThing y;
+  x.peer = &y;
+  y.peer = &x;
+  return 0;
+}

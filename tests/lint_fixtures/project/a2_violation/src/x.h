@@ -1,0 +1,7 @@
+// lint-fixture-expect: A2:3
+#pragma once
+#include "y.h"
+
+struct XThing {
+  YThing* peer = nullptr;
+};

@@ -1,0 +1,6 @@
+#pragma once
+#include "x.h"
+
+struct YThing {
+  XThing* peer = nullptr;
+};

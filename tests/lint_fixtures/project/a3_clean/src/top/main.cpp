@@ -1,0 +1,8 @@
+#include "mid/mid.h"
+#include "util/base.h"
+
+int main() {
+  MidThing m;
+  BaseThing b;
+  return m.base.v + b.v;
+}

@@ -1,0 +1,10 @@
+// lint-fixture-expect: LINT:5
+#include "mid/mid.h"
+#include "util/base.h"
+
+// lcs-lint: allow(A3) stale — the direct include above already fixed this
+int main() {
+  MidThing m;
+  BaseThing b;
+  return m.base.v + b.v;
+}

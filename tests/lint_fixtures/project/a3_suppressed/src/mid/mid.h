@@ -1,0 +1,6 @@
+#pragma once
+#include "util/base.h"
+
+struct MidThing {
+  BaseThing base;
+};

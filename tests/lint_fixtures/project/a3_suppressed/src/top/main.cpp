@@ -1,0 +1,8 @@
+// lint-fixture-suppressions: 1
+#include "mid/mid.h"
+
+int main() {
+  MidThing m;
+  BaseThing b;  // lcs-lint: allow(A3) mid.h is the documented umbrella API here
+  return m.base.v + b.v;
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+struct BaseThing {
+  int v = 0;
+};

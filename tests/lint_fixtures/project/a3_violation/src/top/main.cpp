@@ -1,0 +1,8 @@
+// lint-fixture-expect: A3:6
+#include "mid/mid.h"
+
+int main() {
+  MidThing m;
+  BaseThing b;
+  return m.base.v + b.v;
+}

@@ -1,0 +1,6 @@
+#include "util/base.h"
+
+int main() {
+  BaseThing b;
+  return b.v;
+}

@@ -1,0 +1,8 @@
+// lint-fixture-expect: LINT:4
+#include "util/base.h"
+
+// lcs-lint: allow(A4) stale — the include below is used now
+int main() {
+  BaseThing b;
+  return b.v;
+}

@@ -1,0 +1,4 @@
+// lint-fixture-suppressions: 1
+#include "util/base.h"  // lcs-lint: allow(A4) kept for the doc example below
+
+int main() { return 0; }

@@ -1,0 +1,4 @@
+// lint-fixture-expect: A4:2
+#include "util/base.h"
+
+int main() { return 0; }

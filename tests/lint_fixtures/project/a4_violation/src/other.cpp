@@ -1,0 +1,6 @@
+#include "util/base.h"
+
+static int use_base() {
+  BaseThing b;
+  return b.v;
+}

@@ -1,0 +1,3 @@
+#include "util/orphan.h"
+
+int main() { return orphan_helper(); }

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int orphan_helper() { return 42; }

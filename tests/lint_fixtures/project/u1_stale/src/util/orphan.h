@@ -1,0 +1,5 @@
+// lint-fixture-expect: LINT:4
+#pragma once
+
+// lcs-lint: allow(U1) stale — main() references the helper now
+inline int orphan_helper() { return 42; }

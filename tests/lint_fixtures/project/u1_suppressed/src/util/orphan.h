@@ -1,0 +1,4 @@
+// lint-fixture-suppressions: 1
+#pragma once
+
+inline int orphan_helper() { return 42; }  // lcs-lint: allow(U1) public extension point, callers live downstream

@@ -1,0 +1,4 @@
+// lint-fixture-expect: U1:4
+#pragma once
+
+inline int orphan_helper() { return 42; }

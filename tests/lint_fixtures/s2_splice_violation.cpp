@@ -1,0 +1,9 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: S2:6 S2:8
+// A phase-2 backslash line splice hides the forbidden name across two
+// physical lines; the lexer must rejoin them (and report the finding at
+// the first physical line of the spliced token run).
+#include <thread>
+
+void fx() { std::th\
+read t([] {}); t.join(); }

@@ -1,0 +1,20 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: none
+#include <atomic>
+#include <vector>
+
+#include "util/worker_pool.h"
+
+void fx(lcs::util::WorkerPool& pool, std::vector<int>& slots) {
+  std::atomic<int> cursor{0};
+  pool.run(4, [&](int w) {
+    // Per-worker slot: each worker owns slots[w], no write is shared.
+    slots[w] = w * 2;
+    // Atomic cursor: contended, but not a data race and not an order
+    // the merge depends on.
+    const int i = cursor.fetch_add(1);
+    int local = w;
+    local += i;
+    slots[w] += local;
+  });
+}

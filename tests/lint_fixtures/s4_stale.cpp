@@ -1,0 +1,12 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: LINT:9
+#include <vector>
+
+#include "util/worker_pool.h"
+
+void fx(lcs::util::WorkerPool& pool, std::vector<int>& slots) {
+  pool.run(4, [&](int w) {
+    // lcs-lint: allow(S4) stale — the subscript write below is already clean
+    slots[w] = w;
+  });
+}

@@ -1,0 +1,13 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: none
+// lint-fixture-suppressions: 1
+#include "util/worker_pool.h"
+
+void fx(lcs::util::WorkerPool& pool) {
+  int total = 0;
+  pool.run(1, [&](int w) {
+    // lcs-lint: allow(S4) single-worker pool in this path, no concurrency
+    total += w;
+  });
+  (void)total;
+}

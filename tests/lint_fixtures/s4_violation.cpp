@@ -1,0 +1,15 @@
+// lint-fixture-path: src/congest/fx.cpp
+// lint-fixture-expect: S4:12 S4:13
+#include <vector>
+
+#include "util/worker_pool.h"
+
+void fx(lcs::util::WorkerPool& pool, std::vector<int>& sink) {
+  int total = 0;
+  pool.run(4, [&](int w) {
+    // Both writes race: `total` and `sink` are shared state captured by
+    // reference, mutated concurrently by every worker.
+    total += w;
+    sink.push_back(w);
+  });
+}

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "graph/reference.h"
 #include "mst/boruvka_intra.h"
 #include "mst/boruvka_shortcut.h"
 #include "mst/mwoe.h"
 #include "mst/pipeline.h"
 #include "test_util.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace lcs {

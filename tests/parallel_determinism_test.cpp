@@ -11,10 +11,14 @@
 
 #include <vector>
 
+#include "congest/message.h"
 #include "congest/network.h"
+#include "congest/process.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "graph/reference.h"
 #include "mst/boruvka_shortcut.h"
+#include "mst/mwoe.h"
 #include "stress_util.h"
 #include "test_util.h"
 #include "util/check.h"

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "congest/process.h"
 #include "graph/generators.h"
-#include "graph/metrics.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/existential.h"
 #include "shortcut/part_routing.h"
 #include "shortcut/representation.h"

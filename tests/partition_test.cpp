@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "graph/metrics.h"
 #include "graph/partition.h"
 #include "util/cast.h"

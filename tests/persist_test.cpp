@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "scenario/scenario.h"
 #include "shortcut/persist.h"
 #include "shortcut/shortcut.h"

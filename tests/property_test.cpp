@@ -9,13 +9,15 @@
 #include <cmath>
 
 #include "graph/generators.h"
-#include "graph/metrics.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/existential.h"
 #include "shortcut/find_shortcut.h"
 #include "shortcut/part_routing.h"
 #include "shortcut/shortcut.h"
 #include "shortcut/superstep.h"
 #include "test_util.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 
 namespace lcs {

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "graph/reference.h"
 #include "graph/union_find.h"
 #include "util/random.h"

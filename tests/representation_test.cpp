@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/existential.h"
 #include "shortcut/representation.h"
+#include "shortcut/shortcut.h"
 #include "test_util.h"
 
 namespace lcs {

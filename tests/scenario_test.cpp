@@ -4,6 +4,7 @@
 #include <fstream>
 #include <string>
 
+#include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
 #include "graph/partition.h"

@@ -7,7 +7,10 @@
 #include <vector>
 
 #include "driver/run_driver.h"
+#include "graph/graph.h"
+#include "scenario/scenario.h"
 #include "serve/cache.h"
+#include "shortcut/persist.h"
 #include "util/check.h"
 
 namespace lcs {

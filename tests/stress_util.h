@@ -13,7 +13,9 @@
 #include <span>
 #include <vector>
 
+#include "congest/message.h"
 #include "congest/network.h"
+#include "congest/process.h"
 #include "graph/graph.h"
 #include "util/cast.h"
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "congest/process.h"
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "shortcut/tree_ops.h"
 #include "test_util.h"
 

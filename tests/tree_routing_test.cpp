@@ -3,10 +3,14 @@
 #include <map>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/existential.h"
 #include "shortcut/representation.h"
+#include "shortcut/shortcut.h"
 #include "shortcut/tree_routing.h"
 #include "test_util.h"
+#include "tree/spanning_tree.h"
 #include "util/cast.h"
 
 namespace lcs {

@@ -5,9 +5,15 @@
 #include <cstdint>
 #include <set>
 #include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 #include "util/random.h"
+#include "util/sorted.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -16,6 +22,19 @@ namespace {
 
 TEST(Check, PassesOnTrueCondition) {
   EXPECT_NO_THROW(LCS_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Sorted, KeysItemsAndElementsComeBackInKeyOrder) {
+  std::unordered_map<int, std::string> m = {{3, "c"}, {1, "a"}, {2, "b"}};
+  EXPECT_EQ(util::sorted_keys(m), (std::vector<int>{1, 2, 3}));
+  const auto items = util::sorted_items(m);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 1);
+  EXPECT_EQ(items[0].second, "a");
+  EXPECT_EQ(items[2].first, 3);
+  EXPECT_EQ(items[2].second, "c");
+  std::unordered_set<int> s = {5, 4, 6};
+  EXPECT_EQ(util::sorted_elements(s), (std::vector<int>{4, 5, 6}));
 }
 
 TEST(Check, ThrowsWithLocationAndMessage) {

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
 #include "shortcut/core_fast.h"
 #include "shortcut/core_slow.h"
 #include "shortcut/existential.h"
 #include "shortcut/representation.h"
+#include "shortcut/shortcut.h"
 #include "shortcut/superstep.h"
 #include "shortcut/verification.h"
 #include "test_util.h"

@@ -1,10 +1,25 @@
 /// \file lcs_lint.cpp
-/// CLI for the repo's determinism & safety static-analysis pass.
+/// CLI for the repo's determinism, safety & architecture static-analysis
+/// pass.
 ///
-///   lcs_lint [--list-rules] <path>...
+///   lcs_lint [flags] <path>...
+///
+///   --list-rules       print the rule table (family, fixture count,
+///                      rationale) and exit
+///   --json             emit the machine-readable findings document
+///                      (schema lcs-lint-findings-v1) on stdout instead
+///                      of the human one-line-per-finding format
+///   --graph-dot=FILE   write the project include graph as Graphviz DOT
+///                      to FILE ('-' = stdout)
+///   --cache=FILE       incremental cache: unchanged files (by content
+///                      hash) are served from FILE without re-lexing
+///   --layers=FILE      layer manifest to enforce (default: auto-discover
+///                      src/lint/layers.txt)
 ///
 /// Lints every .cpp/.h under the given files/directories (recursively,
-/// skipping the lint_fixtures corpus) and prints one line per finding:
+/// skipping the lint_fixtures corpus) as ONE project — the per-file rules
+/// plus the include-graph rules (layering, cycles, IWYU, dead symbols) —
+/// and prints one line per finding:
 ///
 ///   file:line:col: RULE: message (fix: hint)
 ///
@@ -15,24 +30,54 @@
 /// tools/lint_all.sh.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.h"
 
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: lcs_lint [--list-rules] [--json] [--graph-dot=FILE] "
+               "[--cache=FILE] [--layers=FILE] <path>...\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  lcs::lint::Options options;
+  bool json = false;
+  std::string graph_dot_file;
+  std::string layers_file;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const auto& r : lcs::lint::rule_table())
-        std::printf("%-4s %s\n", std::string(r.id).c_str(),
-                    std::string(r.summary).c_str());
+      std::fputs(lcs::lint::format_rule_table().c_str(), stdout);
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: lcs_lint [--list-rules] <path>...\n");
+      usage(stdout);
       return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg.rfind("--graph-dot=", 0) == 0) {
+      graph_dot_file = arg.substr(12);
+      continue;
+    }
+    if (arg.rfind("--cache=", 0) == 0) {
+      options.cache_file = arg.substr(8);
+      continue;
+    }
+    if (arg.rfind("--layers=", 0) == 0) {
+      layers_file = arg.substr(9);
+      continue;
     }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "lcs_lint: unknown flag '%s'\n", arg.c_str());
@@ -41,7 +86,7 @@ int main(int argc, char** argv) {
     paths.push_back(arg);
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: lcs_lint [--list-rules] <path>...\n");
+    usage(stderr);
     return 2;
   }
   // A typo'd path would otherwise scan zero files and "pass" — in CI that
@@ -52,14 +97,44 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!layers_file.empty()) {
+    std::ifstream in(layers_file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "lcs_lint: cannot read layers file '%s'\n",
+                   layers_file.c_str());
+      return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    options.layers_text = std::move(text);
+  }
 
-  const lcs::lint::LintResult result = lcs::lint::lint_paths(paths);
-  for (const auto& f : result.findings)
-    std::printf("%s\n", lcs::lint::format_finding(f).c_str());
+  const lcs::lint::LintResult result = lcs::lint::lint_paths(paths, options);
+
+  if (!graph_dot_file.empty()) {
+    if (graph_dot_file == "-") {
+      std::fputs(result.graph_dot.c_str(), stdout);
+    } else {
+      std::ofstream out(graph_dot_file, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "lcs_lint: cannot write '%s'\n",
+                     graph_dot_file.c_str());
+        return 2;
+      }
+      out << result.graph_dot;
+    }
+  }
+
+  if (json) {
+    std::fputs(lcs::lint::format_findings_json(result).c_str(), stdout);
+  } else {
+    for (const auto& f : result.findings)
+      std::printf("%s\n", lcs::lint::format_finding(f).c_str());
+  }
   std::fprintf(stderr,
-               "lcs_lint: %d file(s) scanned, %zu finding(s), %d "
-               "suppression(s) honored\n",
-               result.files_scanned, result.findings.size(),
-               result.suppressions_used);
+               "lcs_lint: %d file(s) scanned (%d lexed, %d cache hit(s)), "
+               "%zu finding(s), %d suppression(s) honored\n",
+               result.files_scanned, result.files_lexed, result.cache_hits,
+               result.findings.size(), result.suppressions_used);
   return result.findings.empty() ? 0 : 1;
 }
